@@ -1,0 +1,57 @@
+"""Reporting helpers shared by the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+rendered output is written straight to the real stdout (bypassing pytest's
+capture, so it shows up in ``pytest benchmarks/`` runs) and archived under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def report(experiment_id: str, title: str, body: str) -> None:
+    """Emit a reproduction block to the console and the results archive."""
+    block = f"\n=== {experiment_id}: {title} ===\n{body}\n"
+    sys.__stdout__.write(block)
+    sys.__stdout__.flush()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment_id}.txt"
+    out.write_text(block, encoding="utf-8")
+
+
+def prf(predicted: set, gold: set) -> tuple[float, float, float]:
+    """Precision/recall/F1 of a predicted pair set against gold."""
+    tp = len(predicted & gold)
+    precision = tp / len(predicted) if predicted else 0.0
+    recall = tp / len(gold) if gold else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1

@@ -1,0 +1,72 @@
+"""Ablation — the intelligent down sampler vs naive uniform sampling.
+
+The guide's first step (Figure 2) down-samples two large tables before
+development.  Sampling both sides uniformly destroys matches (the chance a
+pair survives is the product of two sampling rates); Magellan's
+``down_sample`` probes a token inverted index so that for every sampled
+B-tuple, its likely A-matches are pulled into the sample.  This bench
+sweeps the sample size and reports how many gold matches survive each
+sampler — the motivating gap for the "Down Sample" pain-point tool of
+Table 3.
+"""
+
+from __future__ import annotations
+
+from _report import format_table, report
+from conftest import once
+
+from repro.datasets import DirtinessConfig, make_em_dataset
+from repro.datasets.entities import restaurant
+from repro.sampling import down_sample, naive_down_sample
+
+FULL = 3000
+
+
+def surviving(dataset, l_sample, r_sample):
+    l_ids = set(l_sample.column("id"))
+    r_ids = set(r_sample.column("id"))
+    return sum(1 for a, b in dataset.gold_pairs if a in l_ids and b in r_ids)
+
+
+def sweep():
+    dataset = make_em_dataset(
+        restaurant, FULL, FULL, match_fraction=0.4,
+        dirtiness=DirtinessConfig.light(), seed=8, name="downsample",
+    )
+    rows = []
+    for size in (200, 400, 800, 1600):
+        smart = surviving(dataset, *down_sample(dataset.ltable, dataset.rtable, size, seed=0))
+        naive = surviving(
+            dataset, *naive_down_sample(dataset.ltable, dataset.rtable, size, seed=0)
+        )
+        expected_naive = len(dataset.gold_pairs) * (size / FULL) ** 2
+        rows.append(
+            {
+                "sample size": size,
+                "matches survive (smart)": smart,
+                "matches survive (naive)": naive,
+                "naive expectation": f"{expected_naive:.0f}",
+                "advantage": f"{smart / max(naive, 1):.1f}x",
+                "_smart": smart,
+                "_naive": naive,
+            }
+        )
+    return rows
+
+
+def test_ablation_down_sampling(benchmark):
+    rows = once(benchmark, sweep)
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    report(
+        "ablation_downsample",
+        "Intelligent down-sampling vs naive uniform sampling",
+        format_table(display)
+        + "\n\nExpected shape: the probing sampler preserves more matches at"
+          "\nevery size, and several times more at small sampling rates —"
+          "\nthe regime the guide's 1M -> 100K step lives in.",
+    )
+    for row in rows:
+        assert row["_smart"] > row["_naive"], row
+    # At small sampling rates (the interesting regime) the gap is large.
+    small = [row for row in rows if row["sample size"] <= FULL / 5]
+    assert all(row["_smart"] >= 2 * max(row["_naive"], 1) for row in small), small

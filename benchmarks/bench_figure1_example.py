@@ -1,0 +1,62 @@
+"""Figure 1 — The running example: matching two person tables.
+
+Reproduces the figure literally (tables A and B, matches (a1,b1) and
+(a3,b2)) and benchmarks the attribute-equivalence blocker + matcher
+pipeline that solves it.
+"""
+
+from __future__ import annotations
+
+from _report import format_table, report
+from conftest import once
+
+from repro.blocking import AttrEquivalenceBlocker
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.matchers import ThresholdMatcher
+from repro.table import Table
+
+
+def build_tables():
+    table_a = Table(
+        {
+            "id": ["a1", "a2", "a3"],
+            "name": ["Dave Smith", "Joe Wilson", "Dan Smith"],
+            "city": ["Madison", "San Jose", "Middleton"],
+            "state": ["WI", "CA", "WI"],
+        }
+    )
+    table_b = Table(
+        {
+            "id": ["b1", "b2"],
+            "name": ["David D. Smith", "Daniel W. Smith"],
+            "city": ["Madison", "Middleton"],
+            "state": ["WI", "WI"],
+        }
+    )
+    return table_a, table_b
+
+
+def solve():
+    table_a, table_b = build_tables()
+    candset = AttrEquivalenceBlocker("state").block_tables(table_a, table_b, "id", "id")
+    features = get_features_for_matching(table_a, table_b)
+    fv = extract_feature_vecs(candset, features)
+    ThresholdMatcher("city_exact", 1.0).predict(fv)
+    return {
+        (l, r)
+        for l, r, p in zip(fv["ltable_id"], fv["rtable_id"], fv["predicted"])
+        if p == 1
+    }
+
+
+def test_figure1_example(benchmark):
+    matches = once(benchmark, solve)
+    table_a, table_b = build_tables()
+    body = (
+        "Table A:\n" + format_table(table_a.to_rows()) + "\n\n"
+        "Table B:\n" + format_table(table_b.to_rows()) + "\n\n"
+        f"Matches found: {sorted(matches)}\n"
+        "(paper's Figure 1: matches are (a1, b1) and (a3, b2))"
+    )
+    report("figure1", "Matching two tables (the running example)", body)
+    assert matches == {("a1", "b1"), ("a3", "b2")}

@@ -1,0 +1,108 @@
+"""Table 1 — Real-world deployment of PyMatcher.
+
+For each of the eight deployment scenarios, run the PyMatcher guide
+workflow (block -> weighted sample -> label -> features -> random forest)
+and the incumbent "production solution" (a single-similarity threshold
+matcher), and report both accuracies.  The paper's claim to reproduce:
+the PyMatcher workflow beats the production baseline — most visibly in
+recall — across a broad range of organizations, with a small labeling
+budget and a tiny team (here: one script).
+"""
+
+from __future__ import annotations
+
+from _report import format_table, prf, report
+from conftest import once
+
+from repro.blocking import OverlapBlocker, candset_union
+from repro.catalog import get_catalog
+from repro.datasets import PYMATCHER_SCENARIOS, build_pymatcher_dataset
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.matchers import RFMatcher, ThresholdMatcher
+from repro.sampling import weighted_sample_candset
+
+#: blocking attribute(s) and baseline feature per scenario domain
+_DOMAIN_SETTINGS = {
+    "product": (["title"], [2], "title_jaccard_ws"),
+    "restaurant": (["name", "street"], [2, 2], "name_jaccard_ws"),
+    "person": (["name"], [1], "name_jaccard_ws"),
+    # Citation titles draw 5 words from a small topical vocabulary, so
+    # 2-token overlap keeps most of A x B; require 3 shared words.
+    "citation": (["title"], [3], "title_jaccard_ws"),
+    "ranch": (["ranch_name", "owner"], [2, 2], "ranch_name_jaccard_ws"),
+    "address": (["street", "zip"], [2, 1], "street_jaccard_ws"),
+}
+
+LABEL_BUDGET = 600
+BASELINE_THRESHOLD = 0.75
+
+
+def run_scenario(scenario) -> dict:
+    dataset = build_pymatcher_dataset(scenario)
+    attrs, overlaps, baseline_feature = _DOMAIN_SETTINGS[scenario.domain]
+
+    candset = None
+    for attr, overlap in zip(attrs, overlaps):
+        blocked = OverlapBlocker(attr, overlap_size=overlap).block_tables(
+            dataset.ltable, dataset.rtable, "id", "id"
+        )
+        candset = blocked if candset is None else candset_union(candset, blocked)
+
+    features = get_features_for_matching(dataset.ltable, dataset.rtable)
+    meta = get_catalog().get_candset_metadata(candset)
+    pairs = list(zip(candset[meta.fk_ltable], candset[meta.fk_rtable]))
+
+    fv_all = extract_feature_vecs(candset, features)
+    baseline = ThresholdMatcher(baseline_feature, BASELINE_THRESHOLD)
+    baseline.predict(fv_all, output_column="baseline")
+    baseline_pairs = {
+        pair for pair, flag in zip(pairs, fv_all["baseline"]) if flag == 1
+    }
+
+    sample = weighted_sample_candset(candset, LABEL_BUDGET, seed=scenario.seed)
+    session = LabelingSession(OracleLabeler(dataset.gold_pairs))
+    session.label_candset(sample)
+    fv = extract_feature_vecs(sample, features, label_column="label")
+    matcher = RFMatcher(n_estimators=15, random_state=0).fit(fv, features.names())
+    matcher.predict(fv_all, output_column="predicted")
+    pymatcher_pairs = {
+        pair for pair, flag in zip(pairs, fv_all["predicted"]) if flag == 1
+    }
+
+    base_p, base_r, base_f = prf(baseline_pairs, dataset.gold_pairs)
+    py_p, py_r, py_f = prf(pymatcher_pairs, dataset.gold_pairs)
+    return {
+        "Application": scenario.organization,
+        "Purpose": scenario.purpose,
+        "Prod P/R": f"{base_p:.2f}/{base_r:.2f}",
+        "PyMatcher P/R": f"{py_p:.2f}/{py_r:.2f}",
+        "Better": "yes" if py_f > base_f else "no",
+        "In production": "yes" if scenario.in_production else "considered",
+        "Team": scenario.team,
+        "_py_f1": py_f,
+        "_base_f1": base_f,
+    }
+
+
+def test_table1_pymatcher_deployments(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        rows.extend(run_scenario(s) for s in PYMATCHER_SCENARIOS)
+        return rows
+
+    once(benchmark, run_all)
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    report(
+        "table1",
+        "Real-world deployment of PyMatcher (synthetic analogs)",
+        format_table(display)
+        + "\n\nExpected shape (paper): PyMatcher workflows beat the production"
+          "\nbaseline, and were pushed into production in 6 of 8 applications.",
+    )
+    # The reproduction claim: the guide workflow beats the incumbent
+    # threshold matcher in at least 7 of the 8 deployments.
+    wins = sum(1 for row in rows if row["_py_f1"] > row["_base_f1"])
+    assert wins >= 7, f"PyMatcher beat the baseline in only {wins}/8 scenarios"

@@ -1,0 +1,117 @@
+"""Table 2 — Real-world deployment of CloudMatcher.
+
+Runs the thirteen CloudMatcher tasks through the CloudMatcher 0.1 facade
+(the end-to-end Falcon service), with the labeling source the scenario
+prescribes: a single task owner, a simulated Mechanical Turk crowd, or —
+for "Vehicles" — an expert made unreliable by incomplete records.
+
+The shapes to reproduce from the paper:
+* accuracy "often in the 90 percentage" on the clean tasks;
+* questions within the 160-1200 band (upper limit 1200);
+* low accuracy for Vehicles (uncertain expert), Addresses (dirty data),
+  and Vendors (Brazilian generic addresses);
+* Vendors (no Brazil) — the same task after data cleaning — recovers.
+"""
+
+from __future__ import annotations
+
+from _report import format_table, prf, report
+from conftest import once
+
+from repro.cloud import CloudMatcher01, CostModel
+from repro.crowd import CrowdLabeler
+from repro.datasets import CLOUDMATCHER_SCENARIOS, build_cloudmatcher_dataset
+from repro.falcon import FalconConfig
+from repro.labeling import LabelingSession, OracleLabeler, UncertainOracleLabeler
+
+MAX_QUESTIONS = 1200  # CloudMatcher's upper limit in the paper
+
+
+def labeler_for(scenario, dataset):
+    if scenario.hard_missing_fields is not None:
+        return UncertainOracleLabeler(
+            dataset.gold_pairs, dataset.notes["hard_pairs"], seed=scenario.seed
+        )
+    if scenario.use_crowd:
+        return CrowdLabeler(dataset.gold_pairs, replication=3, seed=scenario.seed)
+    return OracleLabeler(dataset.gold_pairs, seconds_per_label=6.0)
+
+
+def run_task(scenario) -> dict:
+    dataset = build_cloudmatcher_dataset(scenario)
+    labeler = labeler_for(scenario, dataset)
+    session = LabelingSession(labeler, budget=min(scenario.label_budget, MAX_QUESTIONS))
+    cloudmatcher = CloudMatcher01(
+        cost_model=CostModel(), on_cloud=scenario.use_crowd
+    )
+    config = FalconConfig(
+        sample_size=min(1200, 2 * scenario.n_left),
+        blocking_budget=scenario.label_budget // 3,
+        matching_budget=scenario.label_budget,
+        random_state=scenario.seed,
+    )
+    result = cloudmatcher.match(dataset, session, config)
+    context = result.context
+    matches = context.get("matches")
+    l_col = next(c for c in matches.columns if c.startswith("ltable_"))
+    r_col = next(c for c in matches.columns if c.startswith("rtable_"))
+    predicted = set(zip(matches[l_col], matches[r_col]))
+    precision, recall, _ = prf(predicted, dataset.gold_pairs)
+    cost_row = result.cost.as_row()
+    return {
+        "Task": scenario.key,
+        "Org": scenario.organization,
+        "|A|": dataset.ltable.num_rows,
+        "|B|": dataset.rtable.num_rows,
+        "Precision": f"{precision:.2f}",
+        "Recall": f"{recall:.2f}",
+        "Questions": cost_row["Questions"],
+        "Crowd": cost_row["Crowd"],
+        "Compute": cost_row["Compute"],
+        "User/Crowd": cost_row["User/Crowd"],
+        "Machine": cost_row["Machine"],
+        "Total": cost_row["Total"],
+        "_precision": precision,
+        "_recall": recall,
+        "_questions": int(cost_row["Questions"]),
+    }
+
+
+def test_table2_cloudmatcher_tasks(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        rows.extend(run_task(s) for s in CLOUDMATCHER_SCENARIOS)
+        return rows
+
+    once(benchmark, run_all)
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    report(
+        "table2",
+        "Real-world deployment of CloudMatcher (synthetic analogs)",
+        format_table(display)
+        + "\n\nExpected shape (paper): high accuracy (often 90s) except"
+          "\nVehicles / Addresses / Vendors; Vendors (no Brazil) recovers;"
+          "\nquestions within 160-1200; crowd tasks cost dollars and hours,"
+          "\nsingle-user tasks cost neither.",
+    )
+    by_key = {row["Task"]: row for row in rows}
+
+    # Question counts stay within CloudMatcher's operating band.
+    assert all(row["_questions"] <= MAX_QUESTIONS for row in rows)
+
+    # Clean tasks hit the 90s (allowing two stragglers for small samples).
+    dirty = {"vehicles", "addresses", "vendors"}
+    clean_rows = [row for row in rows if row["Task"] not in dirty]
+    strong = [
+        row for row in clean_rows
+        if row["_precision"] >= 0.85 and row["_recall"] >= 0.8
+    ]
+    assert len(strong) >= len(clean_rows) - 2, format_table(display)
+
+    # The dirty-data stories.
+    vendors = by_key["vendors"]
+    vendors_clean = by_key["vendors_no_brazil"]
+    assert vendors_clean["_recall"] > vendors["_recall"]
+    assert by_key["vehicles"]["_recall"] < 0.9 or by_key["vehicles"]["_precision"] < 0.9

@@ -1,0 +1,52 @@
+"""Benchmark-suite fixtures and reporting hooks."""
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+# Make the sibling _report helper importable as a plain module.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _report import RESULTS_DIR  # noqa: E402
+from repro.catalog import reset_catalog  # noqa: E402
+
+_SESSION_START = time.time()
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every reproduction table produced during this run.
+
+    pytest's fd-level capture swallows in-test prints of passing tests;
+    the terminal summary runs uncaptured, so the paper tables land in the
+    console (and in any `tee`'d log) as well as in benchmarks/results/.
+    """
+    if not RESULTS_DIR.exists():
+        return
+    fresh = sorted(
+        path
+        for path in RESULTS_DIR.glob("*.txt")
+        if path.stat().st_mtime >= _SESSION_START - 1
+    )
+    if not fresh:
+        return
+    terminalreporter.section("reproduced tables & figures")
+    for path in fresh:
+        terminalreporter.write(path.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(autouse=True)
+def _clean_catalog():
+    reset_catalog()
+    yield
+    reset_catalog()
+
+
+def once(benchmark, fn):
+    """Run an end-to-end workload exactly once under the benchmark timer.
+
+    The paper-table benches are minutes-long workflows; pytest-benchmark's
+    default calibration would re-run them dozens of times.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Smurf: self-service string matching with label-free blocking (§5.3).
+
+Matches two sets of person-name strings.  Falcon would spend labels to
+learn blocking rules; Smurf generates candidates with an auto-tuned
+similarity join and spends labels only on the matcher, which the paper
+reports cuts labeling effort by 43-76% at the same accuracy.  This example
+runs both on the same task and prints the head-to-head.
+
+Run:  python examples/smurf_strings.py
+"""
+
+import random
+
+from repro.datasets import DirtinessConfig, make_string_dataset
+from repro.datasets.vocab import CITIES, FIRST_NAMES, LAST_NAMES
+from repro.falcon import FalconConfig, run_falcon
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.smurf import SmurfConfig, run_smurf
+
+
+def build_dataset():
+    rng = random.Random(42)
+    strings = sorted(
+        {
+            f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)} {rng.choice(CITIES)}"
+            for _ in range(600)
+        }
+    )
+    return make_string_dataset(
+        strings, match_fraction=0.6, dirtiness=DirtinessConfig.light(),
+        seed=42, name="person-strings",
+    )
+
+
+def score(pairs, gold):
+    tp = len(pairs & gold)
+    precision = tp / len(pairs) if pairs else 0.0
+    recall = tp / len(gold)
+    return precision, recall
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"Matching two sets of strings: {dataset}")
+
+    falcon_session = LabelingSession(OracleLabeler(dataset.gold_pairs))
+    falcon = run_falcon(
+        dataset, falcon_session,
+        FalconConfig(sample_size=2500, blocking_budget=350, matching_budget=250,
+                     max_iterations=25, random_state=0),
+    )
+    falcon_precision, falcon_recall = score(falcon.match_pairs, dataset.gold_pairs)
+
+    smurf_session = LabelingSession(OracleLabeler(dataset.gold_pairs))
+    smurf = run_smurf(dataset, smurf_session, config=SmurfConfig(random_state=0))
+    smurf_precision, smurf_recall = score(smurf.match_pairs, dataset.gold_pairs)
+
+    print(f"\nSmurf candidates via jaccard(3gram) >= {smurf.join_threshold} "
+          f"(auto-tuned, zero labels)")
+    print("\n            labels   precision   recall")
+    print(f"  falcon  {falcon.questions:>7} {falcon_precision:>10.3f} {falcon_recall:>8.3f}")
+    print(f"  smurf   {smurf.questions:>7} {smurf_precision:>10.3f} {smurf_recall:>8.3f}")
+    reduction = 1.0 - smurf.questions / falcon.questions
+    print(f"\nLabeling-effort reduction: {reduction:.0%} "
+          f"(the paper reports 43-76%)")
+
+
+if __name__ == "__main__":
+    main()

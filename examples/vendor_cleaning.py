@@ -1,0 +1,88 @@
+"""The Brazilian-vendors story: dirty data, detected and fixed (§5.2-5.3).
+
+At "Company E", CloudMatcher's accuracy on the vendor master was poor
+because Brazilian vendors had "entered some generic addresses instead of
+their real addresses. As a result, even users cannot match such vendors.
+Once we removed such vendors from the data, the accuracy significantly
+improved."
+
+This example replays that story end to end, but with the manual fix
+replaced by the cleaning toolkit: profile the data, *detect* the generic
+address automatically, quarantine the affected rows, re-run matching, and
+compare accuracies — then post-process the matches into merged entities.
+
+Run:  python examples/vendor_cleaning.py
+"""
+
+from repro.blocking import OverlapBlocker
+from repro.catalog import get_catalog
+from repro.cleaning import clean_em_dataset, detect_generic_values, profile_missingness
+from repro.datasets import build_cloudmatcher_dataset, cloudmatcher_scenario
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.matchers import RFMatcher
+from repro.postprocess import enforce_one_to_one, merge_matches
+from repro.sampling import weighted_sample_candset
+
+
+def run_matching(dataset):
+    """A compact PyMatcher workflow; returns (scored match pairs, P, R)."""
+    candset = OverlapBlocker("name", overlap_size=2).block_tables(
+        dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+    )
+    features = get_features_for_matching(dataset.ltable, dataset.rtable)
+    sample = weighted_sample_candset(candset, 600, seed=0)
+    LabelingSession(OracleLabeler(dataset.gold_pairs)).label_candset(sample)
+    fv_sample = extract_feature_vecs(sample, features, label_column="label")
+    matcher = RFMatcher(n_estimators=15, random_state=0).fit(fv_sample, features.names())
+    fv_all = extract_feature_vecs(candset, features)
+    proba = matcher.predict_proba(fv_all)
+    meta = get_catalog().get_candset_metadata(candset)
+    scored = [
+        (l_id, r_id, float(p))
+        for l_id, r_id, p in zip(fv_all[meta.fk_ltable], fv_all[meta.fk_rtable], proba)
+        if p >= 0.5
+    ]
+    predicted = enforce_one_to_one(scored)
+    tp = len(predicted & dataset.gold_pairs)
+    precision = tp / len(predicted) if predicted else 0.0
+    recall = tp / len(dataset.gold_pairs) if dataset.gold_pairs else 1.0
+    return predicted, precision, recall
+
+
+def main() -> None:
+    dataset = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors"))
+    print(f"Loaded {dataset}")
+
+    print("\nProfiling (missing-value rates):")
+    for column, rate in profile_missingness(dataset.rtable).items():
+        print(f"   {column:>8}: {rate:.1%}")
+
+    report = detect_generic_values(dataset.rtable, "address", distinctiveness=0.01)
+    print("\nGeneric-value detection on 'address':")
+    for value in report.generic_values:
+        print(f"   {value!r} appears {report.counts[value]} times "
+              f"(threshold {report.expected_max_count:.0f})")
+
+    _, dirty_precision, dirty_recall = run_matching(dataset)
+    cleaned, _ = clean_em_dataset(dataset, "address", distinctiveness=0.01)
+    print(f"\nQuarantined {dataset.rtable.num_rows - cleaned.rtable.num_rows} "
+          f"right rows, {dataset.ltable.num_rows - cleaned.ltable.num_rows} left rows")
+    matches, clean_precision, clean_recall = run_matching(cleaned)
+
+    print("\n             precision   recall")
+    print(f"  as-is       {dirty_precision:>8.3f} {dirty_recall:>8.3f}")
+    print(f"  cleaned     {clean_precision:>8.3f} {clean_recall:>8.3f}")
+    print("(paper: 'Once we removed such vendors ... accuracy significantly improved')")
+
+    merged = merge_matches(matches, cleaned.ltable, cleaned.rtable,
+                           cleaned.l_key, cleaned.r_key)
+    print(f"\nPost-processing: {len(matches)} matched pairs merged into "
+          f"{merged.num_rows} canonical vendor records; first record:")
+    if merged.num_rows:
+        for key, value in merged.row(0).items():
+            print(f"   {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: a reproduction of the Magellan entity-matching ecosystem.
+
+The package mirrors the paper's architecture: generic substrates
+(``table``, ``catalog``, ``text``, ``simjoin``, ``ml``) underneath the EM
+layers (``sampling``, ``blocking``, ``features``, ``matchers``,
+``labeling``), with the two system thrusts on top: PyMatcher-style
+workflows (``pipeline``) and the self-service CloudMatcher/Falcon stack
+(``falcon``, ``smurf``, ``crowd``, ``cloud``).
+
+Quick tour::
+
+    from repro.datasets import make_em_dataset
+    from repro.blocking import OverlapBlocker
+    from repro.features import get_features_for_matching, extract_feature_vecs
+    from repro.matchers import RFMatcher, select_matcher
+
+See ``examples/quickstart.py`` for the end-to-end guide workflow.
+"""
+
+from repro.exceptions import (
+    BudgetExhaustedError,
+    CatalogError,
+    ConfigurationError,
+    ForeignKeyConstraintError,
+    KeyConstraintError,
+    LabelingError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ServiceError,
+    WorkflowError,
+)
+from repro.table.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetExhaustedError",
+    "CatalogError",
+    "ConfigurationError",
+    "ForeignKeyConstraintError",
+    "KeyConstraintError",
+    "LabelingError",
+    "NotFittedError",
+    "ReproError",
+    "SchemaError",
+    "ServiceError",
+    "Table",
+    "WorkflowError",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Blocker base class and candidate-set construction.
+
+A blocker consumes two tables A and B and produces a *candidate set*: a
+table whose rows reference a pair (one A-tuple, one B-tuple) that survived
+blocking.  Following the paper's space-efficiency principle, the candidate
+set carries only the pair of foreign keys — ``ltable_<key>`` and
+``rtable_<key>`` — plus optional user-requested output attributes, and the
+key/FK metadata is recorded in the catalog rather than in the table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.catalog.checks import validate_candset
+from repro.table.table import Row, Table
+
+CANDSET_ID = "_id"
+
+
+def fk_column_names(l_key: str, r_key: str) -> tuple[str, str]:
+    """Names of the candidate set's foreign-key columns."""
+    return f"ltable_{l_key}", f"rtable_{r_key}"
+
+
+def make_candset(
+    pairs: Iterable[tuple[Any, Any]],
+    ltable: Table,
+    rtable: Table,
+    l_key: str,
+    r_key: str,
+    l_output_attrs: Sequence[str] = (),
+    r_output_attrs: Sequence[str] = (),
+    catalog: Catalog | None = None,
+) -> Table:
+    """Build a candidate-set table from (l_key_value, r_key_value) pairs.
+
+    Registers the candidate set's metadata (key ``_id``, both FKs, the base
+    tables) in the catalog so downstream tools can validate it.
+    """
+    cat = catalog if catalog is not None else get_catalog()
+    fk_l, fk_r = fk_column_names(l_key, r_key)
+    l_index = ltable.index_by(l_key) if l_output_attrs else None
+    r_index = rtable.index_by(r_key) if r_output_attrs else None
+
+    columns: dict[str, list[Any]] = {CANDSET_ID: [], fk_l: [], fk_r: []}
+    for attr in l_output_attrs:
+        columns[f"ltable_{attr}"] = []
+    for attr in r_output_attrs:
+        columns[f"rtable_{attr}"] = []
+
+    for i, (l_value, r_value) in enumerate(pairs):
+        columns[CANDSET_ID].append(i)
+        columns[fk_l].append(l_value)
+        columns[fk_r].append(r_value)
+        for attr in l_output_attrs:
+            columns[f"ltable_{attr}"].append(l_index[l_value][attr])
+        for attr in r_output_attrs:
+            columns[f"rtable_{attr}"].append(r_index[r_value][attr])
+
+    candset = Table(columns)
+    cat.set_key(ltable, l_key)
+    cat.set_key(rtable, r_key)
+    cat.set_candset_metadata(candset, CANDSET_ID, fk_l, fk_r, ltable, rtable)
+    return candset
+
+
+def candset_pairs(candset: Table, catalog: Catalog | None = None) -> list[tuple[Any, Any]]:
+    """Return the (l_key_value, r_key_value) pairs of a candidate set."""
+    cat = catalog if catalog is not None else get_catalog()
+    meta = cat.get_candset_metadata(candset)
+    return list(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)))
+
+
+class Blocker:
+    """Base class for blockers.
+
+    Subclasses implement :meth:`block_tuples` (does this pair survive?) and
+    may override :meth:`block_tables` with an index-based implementation;
+    the default here is the quadratic fallback, correct for any blocker.
+    """
+
+    def block_tuples(self, l_row: Row, r_row: Row) -> bool:
+        """Return ``True`` when the pair should be *dropped* (blocked)."""
+        raise NotImplementedError
+
+    def block_tables(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str = "id",
+        r_key: str = "id",
+        l_output_attrs: Sequence[str] = (),
+        r_output_attrs: Sequence[str] = (),
+        catalog: Catalog | None = None,
+    ) -> Table:
+        """Apply the blocker to A x B and return the candidate set."""
+        ltable.require_columns([l_key])
+        rtable.require_columns([r_key])
+        pairs = [
+            (l_row[l_key], r_row[r_key])
+            for l_row in ltable.rows()
+            for r_row in rtable.rows()
+            if not self.block_tuples(l_row, r_row)
+        ]
+        return make_candset(
+            pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+        )
+
+    def block_candset(self, candset: Table, catalog: Catalog | None = None) -> Table:
+        """Further filter an existing candidate set with this blocker.
+
+        Validates the candidate set's metadata first (self-containment),
+        then keeps only the surviving pairs; the result is re-registered in
+        the catalog against the same base tables.
+        """
+        cat = catalog if catalog is not None else get_catalog()
+        meta = validate_candset(candset, cat)
+        l_index = meta.ltable.index_by(cat.get_key(meta.ltable))
+        r_index = meta.rtable.index_by(cat.get_key(meta.rtable))
+        keep = []
+        for i in range(candset.num_rows):
+            row = candset.row(i)
+            l_row = l_index[row[meta.fk_ltable]]
+            r_row = r_index[row[meta.fk_rtable]]
+            if not self.block_tuples(l_row, r_row):
+                keep.append(i)
+        result = candset.take(keep)
+        result.add_column(CANDSET_ID, list(range(len(keep))))
+        cat.set_candset_metadata(
+            result, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
+        )
+        return result

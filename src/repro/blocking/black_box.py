@@ -1,0 +1,23 @@
+"""Black-box blocker: an arbitrary user predicate over row pairs."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.blocking.base import Blocker
+from repro.table.table import Row
+
+
+class BlackBoxBlocker(Blocker):
+    """Wraps a user function ``f(l_row, r_row) -> bool`` (True = drop).
+
+    Maximally customizable, minimally scalable: execution is the base
+    class's pairwise scan, which is exactly the trade-off the paper notes
+    for black-box tools.
+    """
+
+    def __init__(self, function: Callable[[Row, Row], bool]):
+        self.function = function
+
+    def block_tuples(self, l_row: Row, r_row: Row) -> bool:
+        return bool(self.function(l_row, r_row))

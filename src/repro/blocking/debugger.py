@@ -1,0 +1,117 @@
+"""Blocking debugger: find likely matches that blocking dropped.
+
+Table 3 of the paper lists the "blocking debugger" as one of the pain-point
+tools.  Assessing a blocker's recall is hard because the dropped pairs are,
+by construction, not in the output; the debugger searches A x B (via a
+token inverted index, not enumeration) for pairs with high textual
+similarity that are *absent* from the candidate set and surfaces the top-k
+for the user to inspect.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.catalog.checks import validate_candset
+from repro.table.schema import is_missing
+from repro.table.table import Table
+from repro.text.tokenizers import WhitespaceTokenizer
+
+
+def _concat_tokens(table: Table, key: str, attrs: list[str]) -> dict[Any, set[str]]:
+    tokenizer = WhitespaceTokenizer(return_set=True)
+    result: dict[Any, set[str]] = {}
+    for row in table.rows():
+        tokens: set[str] = set()
+        for attr in attrs:
+            value = row[attr]
+            if not is_missing(value):
+                tokens.update(t.lower() for t in tokenizer.tokenize(str(value)))
+        result[row[key]] = tokens
+    return result
+
+
+def debug_blocker(
+    candset: Table,
+    output_size: int = 50,
+    attr_corres: list[tuple[str, str]] | None = None,
+    catalog: Catalog | None = None,
+) -> Table:
+    """Return the top likely-match pairs missing from the candidate set.
+
+    Pairs are scored by Jaccard similarity of the whitespace tokens of
+    their (corresponding) attributes concatenated; only pairs sharing at
+    least one token are considered, found through an inverted index.
+    The output table has ``l_id``, ``r_id``, ``similarity`` sorted by
+    descending similarity.
+    """
+    cat = catalog if catalog is not None else get_catalog()
+    meta = validate_candset(candset, cat)
+    ltable, rtable = meta.ltable, meta.rtable
+    l_key = cat.get_key(ltable)
+    r_key = cat.get_key(rtable)
+    if attr_corres is None:
+        shared = [
+            name
+            for name in ltable.columns
+            if name in set(rtable.columns) and name not in (l_key, r_key)
+        ]
+        attr_corres = [(name, name) for name in shared]
+    l_attrs = [pair[0] for pair in attr_corres]
+    r_attrs = [pair[1] for pair in attr_corres]
+
+    in_candset = set(
+        zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable))
+    )
+    l_tokens = _concat_tokens(ltable, l_key, l_attrs)
+    r_tokens = _concat_tokens(rtable, r_key, r_attrs)
+
+    index: dict[str, list[Any]] = defaultdict(list)
+    for r_id, tokens in r_tokens.items():
+        for token in tokens:
+            index[token].append(r_id)
+
+    scored: list[tuple[float, Any, Any]] = []
+    for l_id, tokens in l_tokens.items():
+        candidates: set[Any] = set()
+        for token in tokens:
+            candidates.update(index.get(token, ()))
+        for r_id in candidates:
+            if (l_id, r_id) in in_candset:
+                continue
+            other = r_tokens[r_id]
+            union = len(tokens | other)
+            similarity = len(tokens & other) / union if union else 0.0
+            if similarity > 0.0:
+                scored.append((similarity, l_id, r_id))
+    scored.sort(key=lambda item: (-item[0], str(item[1]), str(item[2])))
+    top = scored[:output_size]
+    return Table(
+        {
+            "l_id": [l_id for _, l_id, _ in top],
+            "r_id": [r_id for _, _, r_id in top],
+            "similarity": [score for score, _, _ in top],
+        }
+    )
+
+
+def blocking_recall(
+    candset: Table,
+    gold_pairs: set[tuple[Any, Any]],
+    catalog: Catalog | None = None,
+) -> float:
+    """Fraction of gold matches that survived blocking.
+
+    Available in benchmarks/tests where gold is known; the interactive
+    debugger above is the no-gold production tool.
+    """
+    if not gold_pairs:
+        return 1.0
+    cat = catalog if catalog is not None else get_catalog()
+    meta = validate_candset(candset, cat)
+    survivors = set(
+        zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable))
+    )
+    return len(gold_pairs & survivors) / len(gold_pairs)

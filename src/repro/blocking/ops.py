@@ -1,0 +1,63 @@
+"""Candidate-set algebra: union, intersection, and difference.
+
+The guide encourages experimenting with multiple blockers ("executing both
+on A' and B' and examining their output"); combining their outputs needs
+set operations over candidate sets that preserve catalog metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.blocking.base import make_candset
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.catalog.checks import validate_candset
+from repro.exceptions import SchemaError
+from repro.table.table import Table
+
+
+def _pair_set(candset: Table, cat: Catalog) -> tuple[set[tuple[Any, Any]], Any]:
+    meta = validate_candset(candset, cat)
+    pairs = set(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)))
+    return pairs, meta
+
+
+def _check_same_bases(meta_a, meta_b) -> None:
+    if meta_a.ltable is not meta_b.ltable or meta_a.rtable is not meta_b.rtable:
+        raise SchemaError(
+            "candidate sets were built over different base tables; "
+            "set operations require the same A and B"
+        )
+
+
+def _rebuild(pairs: set[tuple[Any, Any]], meta, cat: Catalog) -> Table:
+    l_key = cat.get_key(meta.ltable)
+    r_key = cat.get_key(meta.rtable)
+    return make_candset(sorted(pairs), meta.ltable, meta.rtable, l_key, r_key, catalog=cat)
+
+
+def candset_union(a: Table, b: Table, catalog: Catalog | None = None) -> Table:
+    """Pairs present in either candidate set."""
+    cat = catalog if catalog is not None else get_catalog()
+    pairs_a, meta_a = _pair_set(a, cat)
+    pairs_b, meta_b = _pair_set(b, cat)
+    _check_same_bases(meta_a, meta_b)
+    return _rebuild(pairs_a | pairs_b, meta_a, cat)
+
+
+def candset_intersection(a: Table, b: Table, catalog: Catalog | None = None) -> Table:
+    """Pairs present in both candidate sets."""
+    cat = catalog if catalog is not None else get_catalog()
+    pairs_a, meta_a = _pair_set(a, cat)
+    pairs_b, meta_b = _pair_set(b, cat)
+    _check_same_bases(meta_a, meta_b)
+    return _rebuild(pairs_a & pairs_b, meta_a, cat)
+
+
+def candset_difference(a: Table, b: Table, catalog: Catalog | None = None) -> Table:
+    """Pairs in ``a`` but not in ``b``."""
+    cat = catalog if catalog is not None else get_catalog()
+    pairs_a, meta_a = _pair_set(a, cat)
+    pairs_b, meta_b = _pair_set(b, cat)
+    _check_same_bases(meta_a, meta_b)
+    return _rebuild(pairs_a - pairs_b, meta_a, cat)

@@ -1,0 +1,66 @@
+"""Rule-based blocker: user- or Falcon-supplied rules over features."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.blocking.base import Blocker, make_candset
+from repro.blocking.rules import BlockingRule, execute_rules, parse_rule
+from repro.catalog.catalog import Catalog
+from repro.exceptions import ConfigurationError
+from repro.features.feature import FeatureTable
+from repro.table.table import Row, Table
+
+
+class RuleBasedBlocker(Blocker):
+    """Blocks a pair when *any* of its rules drops it.
+
+    When every rule is join-executable (see
+    :class:`~repro.blocking.rules.BlockingRule`), ``block_tables`` runs
+    the rules as similarity joins and never enumerates A x B; otherwise it
+    falls back to the base class's pairwise scan.
+    """
+
+    def __init__(self, rules: list[BlockingRule] | None = None):
+        self.rules: list[BlockingRule] = list(rules or [])
+
+    def add_rule(
+        self,
+        specs: list[str] | str,
+        feature_table: FeatureTable,
+        name: str = "",
+    ) -> BlockingRule:
+        """Add a rule from declarative predicate specs; returns the rule."""
+        rule = parse_rule(specs, feature_table, name=name or f"rule_{len(self.rules) + 1}")
+        self.rules.append(rule)
+        return rule
+
+    def block_tuples(self, l_row: Row, r_row: Row) -> bool:
+        if not self.rules:
+            raise ConfigurationError("RuleBasedBlocker has no rules")
+        return any(rule.drops(l_row, r_row) for rule in self.rules)
+
+    @property
+    def is_join_executable(self) -> bool:
+        return bool(self.rules) and all(rule.is_executable for rule in self.rules)
+
+    def block_tables(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str = "id",
+        r_key: str = "id",
+        l_output_attrs: Sequence[str] = (),
+        r_output_attrs: Sequence[str] = (),
+        catalog: Catalog | None = None,
+    ) -> Table:
+        if not self.rules:
+            raise ConfigurationError("RuleBasedBlocker has no rules")
+        if not self.is_join_executable:
+            return super().block_tables(
+                ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+            )
+        pairs = sorted(execute_rules(self.rules, ltable, rtable, l_key, r_key))
+        return make_candset(
+            pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+        )

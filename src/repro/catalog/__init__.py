@@ -1,0 +1,23 @@
+"""Standalone metadata catalog and self-containment validators."""
+
+from repro.catalog.catalog import (
+    Catalog,
+    TableMetadata,
+    get_catalog,
+    reset_catalog,
+)
+from repro.catalog.checks import (
+    StaleMetadataWarning,
+    check_fk_constraint,
+    validate_candset,
+)
+
+__all__ = [
+    "Catalog",
+    "StaleMetadataWarning",
+    "TableMetadata",
+    "check_fk_constraint",
+    "get_catalog",
+    "reset_catalog",
+    "validate_candset",
+]

@@ -1,0 +1,69 @@
+"""Self-containment validators.
+
+The paper's running example (Section 4.1): a command Z is about to operate
+on candidate set C and needs the FK constraint between C and base table A
+to be true.  Because some other tool may have deleted rows from A without
+updating the catalog, Z first *checks* the constraint; if it no longer
+holds, Z warns and stops rather than silently computing garbage.  These
+functions implement those checks for all downstream commands.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.catalog.catalog import Catalog, TableMetadata, get_catalog
+from repro.exceptions import ForeignKeyConstraintError, KeyConstraintError
+from repro.table.table import Table
+
+
+class StaleMetadataWarning(UserWarning):
+    """Issued when catalog metadata is found to be stale but tolerable."""
+
+
+def check_fk_constraint(
+    child: Table, fk_column: str, parent: Table, parent_key: str
+) -> None:
+    """Verify every FK value in ``child`` exists as a key in ``parent``.
+
+    Raises :class:`ForeignKeyConstraintError` on dangling references and
+    :class:`KeyConstraintError` if the parent key itself is invalid.
+    """
+    parent.validate_key(parent_key)
+    parent_keys = set(parent.column(parent_key))
+    dangling = [v for v in child.column(fk_column) if v not in parent_keys]
+    if dangling:
+        raise ForeignKeyConstraintError(
+            f"{len(dangling)} value(s) in {fk_column!r} have no matching "
+            f"{parent_key!r} in the parent table (e.g. {dangling[:3]})"
+        )
+
+
+def validate_candset(
+    candset: Table,
+    catalog: Catalog | None = None,
+    strict: bool = True,
+) -> TableMetadata:
+    """Validate a candidate set's full metadata before a tool uses it.
+
+    Checks the candidate set's own key and both FK constraints into its
+    base tables.  With ``strict=True`` (the default) a violated constraint
+    raises; with ``strict=False`` it instead emits a
+    :class:`StaleMetadataWarning` and continues — the paper notes tools may
+    choose either, depending on the nature of the command.
+
+    Returns the validated :class:`TableMetadata` record.
+    """
+    cat = catalog if catalog is not None else get_catalog()
+    meta = cat.get_candset_metadata(candset)
+    try:
+        candset.validate_key(meta.key)
+        check_fk_constraint(candset, meta.fk_ltable, meta.ltable, cat.get_key(meta.ltable))
+        check_fk_constraint(candset, meta.fk_rtable, meta.rtable, cat.get_key(meta.rtable))
+    except (ForeignKeyConstraintError, KeyConstraintError) as exc:
+        if strict:
+            raise
+        warnings.warn(
+            f"candidate-set metadata is stale: {exc}", StaleMetadataWarning, stacklevel=2
+        )
+    return meta

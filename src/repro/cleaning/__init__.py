@@ -1,0 +1,17 @@
+"""Dirty-data detection and isolation (the Vendors/Addresses lesson)."""
+
+from repro.cleaning.detectors import (
+    GenericValueReport,
+    clean_em_dataset,
+    detect_generic_values,
+    isolate_rows,
+    profile_missingness,
+)
+
+__all__ = [
+    "GenericValueReport",
+    "clean_em_dataset",
+    "detect_generic_values",
+    "isolate_rows",
+    "profile_missingness",
+]

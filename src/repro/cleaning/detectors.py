@@ -1,0 +1,121 @@
+"""Dirty-data detection: the lesson of the Vendors and Addresses tasks.
+
+Section 5.3: "data cleaning is critical for EM ... It is important that
+we can detect dirty data, isolate it, and then clean it, to maximize EM
+accuracy."  The Brazilian vendors failed because thousands of records
+shared one *generic* address; once those rows were removed, accuracy
+recovered.  This module provides the detectors that automate that story:
+
+* :func:`profile_missingness` — per-column missing-value rates;
+* :func:`detect_generic_values` — values whose frequency is anomalous for
+  a should-be-distinctive column (the generic-address signature);
+* :func:`isolate_rows` — split a table into clean and quarantined parts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+from repro.table.schema import is_missing
+from repro.table.table import Table
+
+
+def profile_missingness(table: Table) -> dict[str, float]:
+    """Fraction of missing values per column."""
+    if table.num_rows == 0:
+        return {name: 0.0 for name in table.columns}
+    return {
+        name: sum(1 for v in table.column(name) if is_missing(v)) / table.num_rows
+        for name in table.columns
+    }
+
+
+@dataclass
+class GenericValueReport:
+    """Outcome of generic-value detection on one column."""
+
+    column: str
+    generic_values: list[Any]
+    counts: dict[Any, int] = field(default_factory=dict)
+    expected_max_count: float = 0.0
+
+    @property
+    def affected_rows(self) -> int:
+        return sum(self.counts[value] for value in self.generic_values)
+
+
+def detect_generic_values(
+    table: Table,
+    column: str,
+    distinctiveness: float = 0.01,
+    min_count: int = 5,
+) -> GenericValueReport:
+    """Find suspiciously frequent values in a should-be-distinctive column.
+
+    A column like an address or a VIN should have near-unique values; a
+    value carried by more than ``max(min_count, distinctiveness * rows)``
+    records is flagged as generic (placeholder/default data).  Missing
+    values are ignored — they are a different pathology, reported by
+    :func:`profile_missingness`.
+    """
+    if not 0.0 < distinctiveness <= 1.0:
+        raise ConfigurationError(
+            f"distinctiveness must be in (0, 1], got {distinctiveness}"
+        )
+    counts = Counter(v for v in table.column(column) if not is_missing(v))
+    threshold = max(min_count, distinctiveness * table.num_rows)
+    generic = sorted(
+        (value for value, count in counts.items() if count > threshold),
+        key=lambda value: -counts[value],
+    )
+    return GenericValueReport(
+        column=column,
+        generic_values=generic,
+        counts={value: counts[value] for value in generic},
+        expected_max_count=threshold,
+    )
+
+
+def isolate_rows(
+    table: Table, column: str, values: list[Any]
+) -> tuple[Table, Table]:
+    """Split a table into (clean, quarantined) by membership in ``values``."""
+    flagged = set(values)
+    clean_idx = []
+    dirty_idx = []
+    for i, value in enumerate(table.column(column)):
+        (dirty_idx if value in flagged else clean_idx).append(i)
+    return table.take(clean_idx), table.take(dirty_idx)
+
+
+def clean_em_dataset(dataset, column: str, distinctiveness: float = 0.01):
+    """Detect generic values on both sides and quarantine affected rows.
+
+    Returns ``(cleaned_dataset, reports)`` where the cleaned dataset's
+    gold pairs are restricted to the surviving rows — the automated
+    version of the paper's manual "remove the Brazilian vendors" fix.
+    """
+    from repro.datasets.generator import EMDataset
+
+    reports = []
+    tables = []
+    for table in (dataset.ltable, dataset.rtable):
+        table_report = detect_generic_values(table, column, distinctiveness)
+        reports.append(table_report)
+        clean, _ = isolate_rows(table, column, table_report.generic_values)
+        tables.append(clean)
+    l_ids = set(tables[0].column(dataset.l_key))
+    r_ids = set(tables[1].column(dataset.r_key))
+    cleaned = EMDataset(
+        name=dataset.name + "_cleaned",
+        ltable=tables[0],
+        rtable=tables[1],
+        gold_pairs={(a, b) for a, b in dataset.gold_pairs if a in l_ids and b in r_ids},
+        l_key=dataset.l_key,
+        r_key=dataset.r_key,
+        notes=dict(dataset.notes),
+    )
+    return cleaned.register(), reports

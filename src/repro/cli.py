@@ -1,0 +1,262 @@
+"""Command-line interface: the ecosystem's tools on plain CSV files.
+
+Subcommands
+-----------
+``repro profile A.csv``
+    Schema inference + missingness + generic-value report per column.
+``repro match A.csv B.csv --key id [--gold gold.csv] [--budget N]``
+    The PyMatcher guide workflow: block, label (interactively, or against
+    a gold pair file), train, predict; writes ``matches.csv``.
+``repro falcon A.csv B.csv --key id [--gold gold.csv] [--budget N]``
+    Self-service EM: the end-to-end Falcon workflow.
+``repro dedupe A.csv --column name [--gold gold.csv]``
+    Single-table deduplication; writes the deduplicated table.
+``repro schema-match A.csv B.csv``
+    Propose attribute correspondences between differently-named schemas.
+
+A gold file is a two-column CSV ``l_id,r_id`` of known matching pairs;
+when given, labeling questions are answered by an oracle (useful for
+scripted runs and benchmarks).  Without it, questions come to the
+terminal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.blocking import OverlapBlocker
+from repro.catalog import get_catalog
+from repro.cleaning import detect_generic_values, profile_missingness
+from repro.datasets.generator import EMDataset
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.labeling.console import ConsoleLabeler
+from repro.matchers import RFMatcher
+from repro.sampling import weighted_sample_candset
+from repro.table import Table, infer_schema, read_csv, write_csv
+from repro.table.schema import ColumnType
+
+
+def _load_gold(path: str | None) -> set | None:
+    if path is None:
+        return None
+    table = read_csv(path)
+    l_col, r_col = table.columns[:2]
+    return set(zip(table.column(l_col), table.column(r_col)))
+
+
+def _labeler(args, ltable: Table, rtable: Table):
+    gold = _load_gold(getattr(args, "gold", None))
+    if gold is not None:
+        return OracleLabeler(gold)
+    return ConsoleLabeler(ltable, rtable, args.key, args.key)
+
+
+def _first_string_column(table: Table, key: str) -> str:
+    schema = infer_schema(table)
+    for name in table.columns:
+        if name == key:
+            continue
+        if schema[name] in (
+            ColumnType.SHORT_STRING,
+            ColumnType.MEDIUM_STRING,
+            ColumnType.LONG_STRING,
+        ):
+            return name
+    raise SystemExit("no string column found to block on; pass --block-on")
+
+
+def cmd_profile(args) -> int:
+    """Profile one table: schema, missingness, generic values."""
+    table = read_csv(args.table)
+    schema = infer_schema(table)
+    missing = profile_missingness(table)
+    print(f"{table.num_rows} rows, {len(table.columns)} columns\n")
+    print(f"{'column':<20} {'type':<14} {'missing':<8} generic values")
+    for name in table.columns:
+        report = detect_generic_values(table, name, distinctiveness=0.05)
+        generic = ", ".join(map(str, report.generic_values[:3])) or "-"
+        print(f"{name:<20} {schema[name].value:<14} {missing[name]:<8.1%} {generic}")
+    return 0
+
+
+def _run_guide_workflow(args):
+    ltable = read_csv(args.ltable)
+    rtable = read_csv(args.rtable)
+    block_on = args.block_on or _first_string_column(ltable, args.key)
+    print(f"blocking on {block_on!r} (token overlap >= {args.overlap})")
+    candset = OverlapBlocker(block_on, overlap_size=args.overlap).block_tables(
+        ltable, rtable, args.key, args.key
+    )
+    print(f"candidate set: {candset.num_rows} pairs")
+
+    sample = weighted_sample_candset(candset, min(args.budget, candset.num_rows), seed=0)
+    session = LabelingSession(_labeler(args, ltable, rtable), budget=args.budget)
+    session.label_candset(sample)
+    print(f"labeled {session.questions_asked} pairs")
+
+    features = get_features_for_matching(ltable, rtable, args.key, args.key)
+    fv = extract_feature_vecs(sample, features, label_column="label")
+    matcher = RFMatcher(n_estimators=10, random_state=0).fit(fv, features.names())
+    fv_all = extract_feature_vecs(candset, features)
+    matcher.predict(fv_all)
+    meta = get_catalog().get_candset_metadata(candset)
+    matches = fv_all.select(lambda row: row["predicted"] == 1).project(
+        [meta.fk_ltable, meta.fk_rtable]
+    )
+    write_csv(matches, args.output)
+    print(f"{matches.num_rows} matches written to {args.output}")
+    return 0
+
+
+def cmd_match(args) -> int:
+    """The PyMatcher guide workflow over two CSV tables."""
+    return _run_guide_workflow(args)
+
+
+def cmd_falcon(args) -> int:
+    """Self-service Falcon EM over two CSV tables."""
+    from repro.falcon import FalconConfig, run_falcon
+
+    ltable = read_csv(args.ltable)
+    rtable = read_csv(args.rtable)
+    gold = _load_gold(args.gold) or set()
+    dataset = EMDataset("cli", ltable, rtable, gold, args.key, args.key).register()
+    session = LabelingSession(_labeler(args, ltable, rtable), budget=args.budget)
+    result = run_falcon(
+        dataset,
+        session,
+        FalconConfig(
+            sample_size=min(4 * max(ltable.num_rows, rtable.num_rows), 3000),
+            blocking_budget=args.budget // 3,
+            matching_budget=args.budget,
+            random_state=0,
+        ),
+    )
+    print(f"blocking rules retained: {len(result.rules)}")
+    for rule in result.rules:
+        print(f"   {rule}")
+    print(f"candidate set: {result.candset.num_rows} pairs")
+    print(f"questions asked: {result.questions}")
+    meta = get_catalog().get_candset_metadata(result.matches)
+    matches = result.matches.project([meta.fk_ltable, meta.fk_rtable])
+    write_csv(matches, args.output)
+    print(f"{matches.num_rows} matches written to {args.output}")
+    if gold:
+        predicted = result.match_pairs
+        tp = len(predicted & gold)
+        precision = tp / len(predicted) if predicted else 0.0
+        recall = tp / len(gold)
+        print(f"against gold: precision={precision:.3f} recall={recall:.3f}")
+    return 0
+
+
+def cmd_dedupe(args) -> int:
+    """Deduplicate one CSV table via self-matching."""
+    from repro.postprocess import dedupe_table, self_block_table
+
+    table = read_csv(args.table)
+    column = args.column or _first_string_column(table, args.key)
+    candset = self_block_table(
+        table, OverlapBlocker(column, overlap_size=args.overlap), args.key
+    )
+    print(f"candidate duplicate pairs: {candset.num_rows}")
+    gold = _load_gold(args.gold)
+    if gold is not None:
+        labeler = OracleLabeler({tuple(sorted(p, key=str)) for p in gold})
+    else:
+        labeler = ConsoleLabeler(table, table, args.key, args.key)
+    session = LabelingSession(labeler, budget=args.budget)
+    session.label_candset(candset)
+    duplicates = {
+        (l_id, r_id)
+        for l_id, r_id, label in zip(
+            candset["ltable_" + args.key], candset["rtable_" + args.key],
+            candset["label"],
+        )
+        if label == 1
+    }
+    deduped = dedupe_table(table, duplicates, key=args.key)
+    write_csv(deduped, args.output)
+    print(
+        f"{table.num_rows - deduped.num_rows} duplicates collapsed; "
+        f"{deduped.num_rows} rows written to {args.output}"
+    )
+    return 0
+
+
+def cmd_schema_match(args) -> int:
+    """Propose attribute correspondences between two CSV tables."""
+    from repro.schema_matching import match_schemas
+
+    ltable = read_csv(args.ltable)
+    rtable = read_csv(args.rtable)
+    correspondences = match_schemas(ltable, rtable, args.key, args.key,
+                                    threshold=args.threshold)
+    if not correspondences:
+        print("no correspondences above threshold")
+        return 1
+    print(f"{'A column':<20} {'B column':<20} {'score':<7} name   value")
+    for c in correspondences:
+        print(
+            f"{c.l_column:<20} {c.r_column:<20} {c.score:<7.3f} "
+            f"{c.name_score:<6.3f} {c.value_score:.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Magellan-style entity matching on CSV files"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="profile one table")
+    p.add_argument("table")
+    p.set_defaults(fn=cmd_profile)
+
+    for name, fn, help_text in (
+        ("match", cmd_match, "PyMatcher guide workflow over two tables"),
+        ("falcon", cmd_falcon, "self-service Falcon workflow over two tables"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("ltable")
+        p.add_argument("rtable")
+        p.add_argument("--key", default="id", help="key column in both tables")
+        p.add_argument("--gold", default=None, help="CSV of known matching pairs")
+        p.add_argument("--budget", type=int, default=500, help="max labels")
+        p.add_argument("--block-on", default=None, help="blocking attribute")
+        p.add_argument("--overlap", type=int, default=1, help="token overlap size")
+        p.add_argument("--output", default="matches.csv")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("dedupe", help="deduplicate one table")
+    p.add_argument("table")
+    p.add_argument("--key", default="id")
+    p.add_argument("--column", default=None, help="blocking attribute")
+    p.add_argument("--overlap", type=int, default=2)
+    p.add_argument("--gold", default=None, help="CSV of known duplicate pairs")
+    p.add_argument("--budget", type=int, default=1000)
+    p.add_argument("--output", default="deduped.csv")
+    p.set_defaults(fn=cmd_dedupe)
+
+    p = sub.add_parser("schema-match", help="propose attribute correspondences")
+    p.add_argument("ltable")
+    p.add_argument("rtable")
+    p.add_argument("--key", default="id")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.set_defaults(fn=cmd_schema_match)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""CloudMatcher: services, workflow DAGs, engines, metamanager, facade."""
+
+from repro.cloud.cloudmatcher import (
+    CloudMatcher01,
+    CloudMatcher10,
+    CloudMatcher20,
+    TaskResult,
+)
+from repro.cloud.context import WorkflowContext
+from repro.cloud.cost import CostModel, TaskCostReport
+from repro.cloud.dag import (
+    EMWorkflow,
+    Fragment,
+    ServiceCall,
+    build_falcon_workflow,
+    decompose_fragments,
+)
+from repro.cloud.engines import ExecutionEngine, FragmentExecution, MetaManager
+from repro.cloud.services import (
+    DEFAULT_REGISTRY,
+    Service,
+    ServiceKind,
+    ServiceRegistry,
+    build_default_registry,
+)
+
+__all__ = [
+    "CloudMatcher01",
+    "CloudMatcher10",
+    "CloudMatcher20",
+    "CostModel",
+    "DEFAULT_REGISTRY",
+    "EMWorkflow",
+    "ExecutionEngine",
+    "Fragment",
+    "FragmentExecution",
+    "MetaManager",
+    "Service",
+    "ServiceCall",
+    "ServiceKind",
+    "ServiceRegistry",
+    "TaskCostReport",
+    "TaskResult",
+    "WorkflowContext",
+    "build_default_registry",
+    "build_falcon_workflow",
+    "decompose_fragments",
+]

@@ -1,0 +1,181 @@
+"""The CloudMatcher facade, in its three historical versions.
+
+* :class:`CloudMatcher01` — Falcon wrapped as a service, one EM workflow
+  at a time ("it can execute only one EM workflow at a time");
+* :class:`CloudMatcher10` — the metamanager executes multiple concurrent
+  workflows by interleaving their DAG fragments across engines;
+* :class:`CloudMatcher20` — additionally exposes the basic services so
+  users compose custom workflows (skip rule learning, label-only, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cloud.context import WorkflowContext
+from repro.cloud.cost import CostModel, TaskCostReport
+from repro.cloud.dag import EMWorkflow, build_falcon_workflow
+from repro.cloud.engines import MetaManager
+from repro.cloud.services import DEFAULT_REGISTRY, Service, ServiceRegistry
+from repro.datasets.generator import EMDataset
+from repro.exceptions import ServiceError
+from repro.falcon.falcon import FalconConfig
+from repro.labeling.session import LabelingSession
+
+
+@dataclass
+class TaskResult:
+    """What a submitted EM task returns to its owner."""
+
+    task_name: str
+    context: WorkflowContext
+    cost: TaskCostReport
+    accuracy: dict[str, float] | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+def _cost_report(
+    context: WorkflowContext, on_cloud: bool, cost_model: CostModel, machine_seconds: float
+) -> TaskCostReport:
+    labeler = context.session.labeler
+    crowd_dollars = getattr(labeler, "dollar_cost", None)
+    return TaskCostReport(
+        questions=context.session.questions_asked,
+        crowd_dollars=crowd_dollars,
+        compute_dollars=(
+            cost_model.compute_cost(machine_seconds, on_cloud) if on_cloud else None
+        ),
+        labeling_seconds=labeler.labeling_seconds,
+        machine_seconds=machine_seconds,
+    )
+
+
+class CloudMatcher01:
+    """Version 0.1: serial, Falcon-only self-service EM."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry | None = None,
+        cost_model: CostModel | None = None,
+        on_cloud: bool = False,
+    ):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.cost_model = cost_model or CostModel()
+        self.on_cloud = on_cloud
+
+    def match(
+        self,
+        dataset: EMDataset,
+        session: LabelingSession,
+        config: FalconConfig | None = None,
+        score_against_gold: bool = True,
+    ) -> TaskResult:
+        """Run the end-to-end Falcon service for one task."""
+        import time as _time
+
+        context = WorkflowContext(
+            dataset=dataset,
+            session=session,
+            config=config or FalconConfig(),
+            task_name=dataset.name,
+        )
+        started = _time.perf_counter()
+        self.registry.get("falcon").run(context)
+        machine_seconds = _time.perf_counter() - started
+        accuracy = None
+        if score_against_gold and dataset.gold_pairs:
+            self.registry.get("compute_accuracy").run(context)
+            accuracy = context.get("accuracy")
+        return TaskResult(
+            task_name=dataset.name,
+            context=context,
+            cost=_cost_report(context, self.on_cloud, self.cost_model, machine_seconds),
+            accuracy=accuracy,
+        )
+
+
+class CloudMatcher10:
+    """Version 1.0: concurrent workflows via the metamanager."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry | None = None,
+        cost_model: CostModel | None = None,
+        on_cloud: bool = True,
+        interleave: bool = True,
+    ):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.cost_model = cost_model or CostModel()
+        self.on_cloud = on_cloud
+        self.metamanager = MetaManager(interleave=interleave)
+        self._submissions: list[tuple[EMWorkflow, WorkflowContext]] = []
+
+    def submit(
+        self,
+        dataset: EMDataset,
+        session: LabelingSession,
+        config: FalconConfig | None = None,
+        use_crowd: bool = False,
+    ) -> WorkflowContext:
+        """Queue one EM task (a Falcon workflow over the dataset)."""
+        context = WorkflowContext(
+            dataset=dataset,
+            session=session,
+            config=config or FalconConfig(),
+            task_name=dataset.name,
+        )
+        workflow = build_falcon_workflow(dataset.name, self.registry, use_crowd=use_crowd)
+        self.metamanager.submit(workflow, context)
+        self._submissions.append((workflow, context))
+        return context
+
+    def run(self, score_against_gold: bool = True) -> tuple[float, list[TaskResult]]:
+        """Execute all queued tasks; returns (simulated makespan, results)."""
+        makespan = self.metamanager.run_all()
+        results = []
+        for run, (workflow, context) in zip(self.metamanager.runs, self._submissions):
+            machine = sum(
+                record.machine_seconds
+                for engine in self.metamanager.all_engines()
+                for record in engine.executions
+                if record.fragment.workflow is workflow
+            )
+            accuracy = None
+            if score_against_gold and context.dataset.gold_pairs:
+                self.registry.get("compute_accuracy").run(context)
+                accuracy = context.get("accuracy")
+            results.append(
+                TaskResult(
+                    task_name=context.task_name,
+                    context=context,
+                    cost=_cost_report(context, self.on_cloud, self.cost_model, machine),
+                    accuracy=accuracy,
+                    extras={"finish_time": run.finish_time},
+                )
+            )
+        return makespan, results
+
+
+class CloudMatcher20(CloudMatcher10):
+    """Version 2.0: everything in 1.0, plus user-composed workflows."""
+
+    def invoke_service(self, name: str, context: WorkflowContext) -> float:
+        """Directly invoke one basic service (the 2.0 flexibility story)."""
+        service = self.registry.get(name)
+        return service.run(context)
+
+    def submit_custom(self, workflow: EMWorkflow, context: WorkflowContext) -> None:
+        """Queue a user-assembled workflow DAG."""
+        for call in workflow.topological_calls():
+            if call.service.name not in self.registry:
+                raise ServiceError(
+                    f"workflow {workflow.name!r} uses unregistered service "
+                    f"{call.service.name!r}"
+                )
+        self.metamanager.submit(workflow, context)
+        self._submissions.append((workflow, context))
+
+    def available_services(self) -> list[Service]:
+        """Table 4: the services a user can compose."""
+        return self.registry.services()

@@ -1,0 +1,47 @@
+"""Workflow context: the state a CloudMatcher EM workflow threads through
+its services.
+
+Each submitted EM task gets one :class:`WorkflowContext` carrying the
+dataset, the labeling session (single user or crowd), the Falcon
+configuration, and every intermediate artifact (sample, forests, rules,
+candidate set, predictions).  Services read and write named slots; a
+service that needs a slot another service has not produced yet fails with
+a precise error — the workflow DAG's edges exist to prevent exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.generator import EMDataset
+from repro.exceptions import ServiceError
+from repro.falcon.falcon import FalconConfig
+from repro.labeling.session import LabelingSession
+
+
+@dataclass
+class WorkflowContext:
+    """Mutable state of one EM workflow execution."""
+
+    dataset: EMDataset
+    session: LabelingSession
+    config: FalconConfig = field(default_factory=FalconConfig)
+    task_name: str = "em-task"
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    def put(self, slot: str, value: Any) -> None:
+        """Store an artifact under a named slot."""
+        self.artifacts[slot] = value
+
+    def get(self, slot: str) -> Any:
+        """Fetch an artifact; raise ServiceError when absent."""
+        if slot not in self.artifacts:
+            raise ServiceError(
+                f"workflow artifact {slot!r} not available; "
+                f"have {sorted(self.artifacts)}"
+            )
+        return self.artifacts[slot]
+
+    def has(self, slot: str) -> bool:
+        return slot in self.artifacts

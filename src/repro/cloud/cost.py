@@ -1,0 +1,65 @@
+"""Cost accounting for CloudMatcher tasks (the Cost columns of Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices used to convert simulated resource usage into dollars.
+
+    ``aws_dollars_per_hour`` approximates the paper's 4-node EMR cluster;
+    tasks run on a local machine cost $0 compute, matching the "-" cells.
+    """
+
+    aws_dollars_per_hour: float = 1.6
+    crowd_dollars_per_assignment: float = 0.02
+
+    def compute_cost(self, machine_seconds: float, on_cloud: bool) -> float:
+        """Dollar cost of machine time ('-' i.e. 0.0 when run locally)."""
+        if not on_cloud:
+            return 0.0
+        return machine_seconds / 3600.0 * self.aws_dollars_per_hour
+
+    def crowd_cost(self, assignments: int) -> float:
+        """Dollar cost of crowd assignments."""
+        return assignments * self.crowd_dollars_per_assignment
+
+
+@dataclass
+class TaskCostReport:
+    """One row of Table 2's Cost/Time block."""
+
+    questions: int
+    crowd_dollars: float | None  # None renders as '-' (single user)
+    compute_dollars: float | None  # None renders as '-' (local machine)
+    labeling_seconds: float
+    machine_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.labeling_seconds + self.machine_seconds
+
+    @staticmethod
+    def _money(value: float | None) -> str:
+        return "-" if value is None else f"${value:.2f}"
+
+    @staticmethod
+    def _duration(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.0f}m"
+        return f"{seconds:.0f}s"
+
+    def as_row(self) -> dict[str, str]:
+        """Render like the paper's table cells."""
+        return {
+            "Questions": str(self.questions),
+            "Crowd": self._money(self.crowd_dollars),
+            "Compute": self._money(self.compute_dollars),
+            "User/Crowd": self._duration(self.labeling_seconds),
+            "Machine": self._duration(self.machine_seconds),
+            "Total": self._duration(self.total_seconds),
+        }

@@ -1,0 +1,188 @@
+"""EM workflows as DAGs, and their decomposition into engine fragments.
+
+CloudMatcher 1.0's key idea (Section 5.1): "break each submitted EM
+workflow into multiple DAG fragments, where each fragment performs only
+one kind of task, e.g., interaction with the user, batch processing of
+data, crowdsourcing ... then execute each fragment on an appropriate
+execution engine".  This module builds the workflow DAG (networkx) and
+computes the same-kind fragment decomposition plus the fragment-level DAG
+that the metamanager schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.cloud.services import Service, ServiceKind, ServiceRegistry
+from repro.exceptions import WorkflowError
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """One node of an EM workflow: a named invocation of a service."""
+
+    node_id: str
+    service: Service
+
+    @property
+    def kind(self) -> ServiceKind:
+        return self.service.kind
+
+
+class EMWorkflow:
+    """A DAG of service calls for one EM task."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.graph: "nx.DiGraph" = nx.DiGraph()
+        self._calls: dict[str, ServiceCall] = {}
+
+    def add_call(
+        self, node_id: str, service: Service, after: list[str] | None = None
+    ) -> ServiceCall:
+        """Add a service call, depending on the given predecessor nodes."""
+        if node_id in self._calls:
+            raise WorkflowError(f"duplicate workflow node {node_id!r}")
+        call = ServiceCall(node_id, service)
+        self._calls[node_id] = call
+        self.graph.add_node(node_id)
+        for predecessor in after or []:
+            if predecessor not in self._calls:
+                raise WorkflowError(f"unknown predecessor {predecessor!r}")
+            self.graph.add_edge(predecessor, node_id)
+        if not nx.is_directed_acyclic_graph(self.graph):
+            raise WorkflowError("workflow graph must stay acyclic")
+        return call
+
+    def call(self, node_id: str) -> ServiceCall:
+        return self._calls[node_id]
+
+    def topological_calls(self) -> list[ServiceCall]:
+        """All calls in a valid execution order."""
+        return [self._calls[node] for node in nx.topological_sort(self.graph)]
+
+    def __len__(self) -> int:
+        return len(self._calls)
+
+
+@dataclass
+class Fragment:
+    """A maximal same-kind group of workflow nodes, scheduled as a unit."""
+
+    fragment_id: str
+    workflow: EMWorkflow
+    kind: ServiceKind
+    calls: list[ServiceCall] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"Fragment({self.fragment_id}, {self.kind.value}, "
+            f"{[c.node_id for c in self.calls]})"
+        )
+
+
+def decompose_fragments(workflow: EMWorkflow) -> tuple[list[Fragment], "nx.DiGraph"]:
+    """Split a workflow into same-kind fragments plus the fragment DAG.
+
+    Fragments are the connected components of the subgraph induced by
+    edges joining nodes of the same kind; the fragment DAG inherits every
+    cross-fragment edge.  Node order inside a fragment follows the
+    workflow's topological order, so a fragment is executable as a unit
+    once all its external predecessors have finished.
+    """
+    graph = workflow.graph
+    same_kind = nx.Graph()
+    same_kind.add_nodes_from(graph.nodes)
+    for source, target in graph.edges:
+        if workflow.call(source).kind == workflow.call(target).kind:
+            same_kind.add_edge(source, target)
+
+    node_to_fragment: dict[str, str] = {}
+    fragments: dict[str, Fragment] = {}
+    topo_order = {node: i for i, node in enumerate(nx.topological_sort(graph))}
+    for index, component in enumerate(nx.connected_components(same_kind)):
+        nodes = sorted(component, key=topo_order.__getitem__)
+        fragment_id = f"{workflow.name}/f{index}"
+        fragment = Fragment(
+            fragment_id,
+            workflow,
+            workflow.call(nodes[0]).kind,
+            [workflow.call(node) for node in nodes],
+        )
+        fragments[fragment_id] = fragment
+        for node in nodes:
+            node_to_fragment[node] = fragment_id
+
+    fragment_dag: "nx.DiGraph" = nx.DiGraph()
+    fragment_dag.add_nodes_from(fragments)
+    for source, target in graph.edges:
+        f_source = node_to_fragment[source]
+        f_target = node_to_fragment[target]
+        if f_source != f_target:
+            fragment_dag.add_edge(f_source, f_target)
+    if not nx.is_directed_acyclic_graph(fragment_dag):
+        # Merging same-kind components can in principle create cycles at
+        # the fragment level; fall back to singleton fragments.
+        fragments = {}
+        fragment_dag = nx.DiGraph()
+        for node in graph.nodes:
+            fragment_id = f"{workflow.name}/n_{node}"
+            fragments[fragment_id] = Fragment(
+                fragment_id, workflow, workflow.call(node).kind, [workflow.call(node)]
+            )
+            node_to_fragment[node] = fragment_id
+        fragment_dag.add_nodes_from(fragments)
+        for source, target in graph.edges:
+            fragment_dag.add_edge(node_to_fragment[source], node_to_fragment[target])
+    ordered = [
+        fragments[fragment_id] for fragment_id in nx.topological_sort(fragment_dag)
+    ]
+    return ordered, fragment_dag
+
+
+def build_falcon_workflow(
+    name: str,
+    registry: ServiceRegistry,
+    use_crowd: bool = False,
+) -> EMWorkflow:
+    """The stock Falcon workflow as a service DAG (Figure 3 as a graph).
+
+    With ``use_crowd`` the two labeling-heavy services are re-tagged to the
+    crowd engine (labels then come from the session's CrowdLabeler).
+    """
+    workflow = EMWorkflow(name)
+
+    def service(service_name: str) -> Service:
+        base = registry.get(service_name)
+        if use_crowd and service_name in (
+            "active_learn_blocking",
+            "active_learn_matching",
+        ):
+            return Service(
+                base.name, ServiceKind.CROWD, base.description, base.run, base.composite
+            )
+        return base
+
+    workflow.add_call("upload", service("upload_tables"))
+    workflow.add_call("metadata", service("edit_metadata"), after=["upload"])
+    workflow.add_call("profile", service("profile_dataset"), after=["upload"])
+    workflow.add_call("sample", service("sample_pairs"), after=["profile", "metadata"])
+    workflow.add_call("blk_features", service("generate_blocking_features"), after=["profile"])
+    workflow.add_call("sample_vectors", service("extract_sample_vectors"), after=["sample", "blk_features"])
+    workflow.add_call("learn_blocking", service("active_learn_blocking"), after=["sample_vectors"])
+    workflow.add_call("extract_rules", service("extract_blocking_rules"), after=["learn_blocking"])
+    workflow.add_call("evaluate_rules", service("evaluate_blocking_rules"), after=["extract_rules"])
+    workflow.add_call("execute_rules", service("execute_blocking_rules"), after=["evaluate_rules"])
+    workflow.add_call("match_features", service("generate_matching_features"), after=["profile"])
+    workflow.add_call(
+        "candidate_vectors",
+        service("extract_candidate_vectors"),
+        after=["execute_rules", "match_features"],
+    )
+    workflow.add_call("learn_matching", service("active_learn_matching"), after=["candidate_vectors"])
+    workflow.add_call("train", service("train_classifier"), after=["learn_matching"])
+    workflow.add_call("apply", service("apply_classifier"), after=["train"])
+    workflow.add_call("export", service("export_results"), after=["apply"])
+    return workflow

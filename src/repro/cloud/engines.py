@@ -1,0 +1,210 @@
+"""Execution engines and the metamanager (CloudMatcher 1.0's core).
+
+Three engines — user interaction, crowd, batch — each execute fragments
+of their kind, one fragment at a time.  The :class:`MetaManager`
+"interleave[s] the execution of DAG fragments coming from different EM
+workflows and coordinate[s] all of the activities": it is a discrete-event
+scheduler over *simulated* time, where a fragment's duration is its
+measured machine time plus the simulated human/crowd seconds its services
+report.  Interleaving lets a batch fragment of one workflow run while
+another workflow waits on its user — the source of the multi-tenant
+throughput win benchmarked for Figure 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.cloud.context import WorkflowContext
+from repro.cloud.dag import EMWorkflow, Fragment, decompose_fragments
+from repro.cloud.services import ServiceKind
+from repro.exceptions import WorkflowError
+
+
+@dataclass
+class FragmentExecution:
+    """Record of one fragment's execution."""
+
+    fragment: Fragment
+    start: float  # simulated seconds
+    end: float
+    machine_seconds: float
+    human_seconds: float
+
+
+class ExecutionEngine:
+    """Runs fragments of one kind; tracks simulated busy time."""
+
+    def __init__(self, kind: ServiceKind):
+        self.kind = kind
+        self.busy_until = 0.0
+        self.executions: list[FragmentExecution] = []
+
+    def execute(
+        self, fragment: Fragment, context: WorkflowContext, now: float
+    ) -> FragmentExecution:
+        """Execute a fragment's services; returns the timing record.
+
+        The services run for real (mutating the context); their machine
+        time is measured and their human/crowd time is whatever they
+        report.  Simulated start is max(now, engine free).
+        """
+        if fragment.kind != self.kind:
+            raise WorkflowError(
+                f"{self.kind.value} engine cannot run a {fragment.kind.value} fragment"
+            )
+        start = max(now, self.busy_until)
+        human_seconds = 0.0
+        wall_start = time.perf_counter()
+        for call in fragment.calls:
+            human_seconds += call.service.run(context)
+        machine_seconds = time.perf_counter() - wall_start
+        end = start + machine_seconds + human_seconds
+        record = FragmentExecution(fragment, start, end, machine_seconds, human_seconds)
+        self.busy_until = end
+        self.executions.append(record)
+        return record
+
+
+@dataclass
+class WorkflowRun:
+    """One workflow admitted to the metamanager."""
+
+    workflow: EMWorkflow
+    context: WorkflowContext
+    fragments: list[Fragment] = field(default_factory=list)
+    fragment_dag: "nx.DiGraph | None" = None
+    completed: set[str] = field(default_factory=set)
+    finish_time: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) == len(self.fragments)
+
+
+class MetaManager:
+    """Schedules fragments from concurrent workflows onto the engines.
+
+    A greedy list scheduler over simulated time: at each step, among all
+    ready fragments (predecessors done), dispatch the one whose engine
+    frees up first; ties go to the workflow admitted earlier.  With
+    ``interleave=False`` it degrades to CloudMatcher 0.1 behaviour — one
+    workflow runs to completion before the next starts.
+    """
+
+    def __init__(self, interleave: bool = True):
+        self.interleave = interleave
+        # The batch cluster and the crowd are shared infrastructure; user
+        # interaction is not — each submitted task has its own owner
+        # answering its questions, so every run gets a private
+        # user-interaction engine.
+        self.engines = {
+            ServiceKind.BATCH: ExecutionEngine(ServiceKind.BATCH),
+            ServiceKind.CROWD: ExecutionEngine(ServiceKind.CROWD),
+        }
+        self._user_engines: dict[int, ExecutionEngine] = {}
+        self.runs: list[WorkflowRun] = []
+
+    def engine_for(self, run: "WorkflowRun", kind: ServiceKind) -> ExecutionEngine:
+        """The engine that executes this run's fragments of ``kind``."""
+        if kind is ServiceKind.USER_INTERACTION:
+            engine = self._user_engines.get(id(run))
+            if engine is None:
+                engine = self._user_engines[id(run)] = ExecutionEngine(kind)
+            return engine
+        return self.engines[kind]
+
+    def all_engines(self) -> list[ExecutionEngine]:
+        """Every engine, shared and per-user."""
+        return list(self.engines.values()) + list(self._user_engines.values())
+
+    def submit(self, workflow: EMWorkflow, context: WorkflowContext) -> WorkflowRun:
+        """Admit a workflow; fragments are computed at admission."""
+        run = WorkflowRun(workflow, context)
+        run.fragments, run.fragment_dag = decompose_fragments(workflow)
+        self.runs.append(run)
+        return run
+
+    # ------------------------------------------------------------------
+    def _ready_fragments(self, run: WorkflowRun) -> list[Fragment]:
+        by_id = {fragment.fragment_id: fragment for fragment in run.fragments}
+        ready = []
+        for fragment in run.fragments:
+            if fragment.fragment_id in run.completed:
+                continue
+            predecessors = run.fragment_dag.predecessors(fragment.fragment_id)
+            if all(p in run.completed for p in predecessors):
+                ready.append(by_id[fragment.fragment_id])
+        return ready
+
+    def run_all(self) -> float:
+        """Execute every admitted workflow; returns the simulated makespan."""
+        if not self.runs:
+            return 0.0
+        if not self.interleave:
+            clock = 0.0
+            for run in self.runs:
+                clock = self._run_serial(run, clock)
+                run.finish_time = clock
+            return clock
+        return self._run_interleaved()
+
+    def _run_serial(self, run: WorkflowRun, clock: float) -> float:
+        while not run.done:
+            ready = self._ready_fragments(run)
+            if not ready:
+                raise WorkflowError("workflow deadlocked: no ready fragments")
+            for fragment in ready:
+                engine = self.engine_for(run, fragment.kind)
+                record = engine.execute(fragment, run.context, clock)
+                clock = max(clock, record.end)
+                run.completed.add(fragment.fragment_id)
+        return clock
+
+    def _run_interleaved(self) -> float:
+        # Event-driven greedy dispatch. heap entries: (dispatchable_at,
+        # admission order, sequence) to break ties deterministically.
+        makespan = 0.0
+        pending = {id(run): run for run in self.runs}
+        sequence = 0
+        heap: list[tuple[float, int, int, "WorkflowRun", Fragment]] = []
+
+        def push_ready(run: "WorkflowRun", order: int, now: float) -> None:
+            nonlocal sequence
+            dispatched = {entry[4].fragment_id for entry in heap}
+            for fragment in self._ready_fragments(run):
+                if fragment.fragment_id in dispatched:
+                    continue
+                engine = self.engine_for(run, fragment.kind)
+                at = max(now, engine.busy_until)
+                heapq.heappush(heap, (at, order, sequence, run, fragment))
+                sequence += 1
+
+        for order, run in enumerate(self.runs):
+            push_ready(run, order, 0.0)
+
+        order_of = {id(run): i for i, run in enumerate(self.runs)}
+        while heap:
+            at, order, _, run, fragment = heapq.heappop(heap)
+            if fragment.fragment_id in run.completed:
+                continue
+            engine = self.engine_for(run, fragment.kind)
+            record = engine.execute(fragment, run.context, at)
+            run.completed.add(fragment.fragment_id)
+            makespan = max(makespan, record.end)
+            if run.done:
+                run.finish_time = record.end
+                pending.pop(id(run), None)
+            push_ready(run, order_of[id(run)], record.end)
+            # Newly freed engine may unblock other runs' queued fragments:
+            # re-push their ready sets with updated availability.
+            for other in pending.values():
+                if other is not run:
+                    push_ready(other, order_of[id(other)], record.end)
+        if pending:
+            raise WorkflowError("metamanager finished with incomplete workflows")
+        return makespan

@@ -1,0 +1,506 @@
+"""CloudMatcher's service registry (Table 4 of the paper).
+
+CloudMatcher 2.0 "extracts a set of basic services from the Falcon EM
+workflow ... then allows users to flexibly combine them"; Appendix D
+counts 18 basic services and 2 composite services.  Each service here is
+atomic, interoperable (they communicate only through the
+:class:`~repro.cloud.context.WorkflowContext`), and tagged with the
+execution-engine kind that runs it: user interaction, crowd, or batch.
+
+A service's ``run(ctx)`` returns the simulated human/crowd seconds it
+consumed; machine seconds are measured by the engine around the call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.blocking.base import make_candset
+from repro.blocking.overlap import OverlapBlocker
+from repro.blocking.rules import execute_rules
+from repro.catalog.catalog import get_catalog
+from repro.cloud.context import WorkflowContext
+from repro.exceptions import ServiceError
+from repro.falcon.active import active_learn_forest
+from repro.falcon.falcon import _sample_pairs
+from repro.falcon.rules import (
+    evaluate_rules,
+    extract_rules_from_forest,
+    select_precise_rules,
+)
+from repro.features.extraction import extract_feature_vecs, feature_matrix
+from repro.features.generation import (
+    get_features_for_blocking,
+    get_features_for_matching,
+)
+from repro.table.schema import infer_schema
+from repro.table.table import Table
+
+
+class ServiceKind(Enum):
+    """Which execution engine runs the service."""
+
+    USER_INTERACTION = "user_interaction"
+    CROWD = "crowd"
+    BATCH = "batch"
+
+
+@dataclass(frozen=True)
+class Service:
+    """One registered (micro)service."""
+
+    name: str
+    kind: ServiceKind
+    description: str
+    run: Callable[[WorkflowContext], float]
+    composite: bool = False
+    core: bool = True  # False for utilities beyond the paper's Table 4
+
+
+class ServiceRegistry:
+    """Name -> Service map; the ecosystem's 'list of services' (Table 4)."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, Service] = {}
+
+    def register(self, service: Service) -> Service:
+        """Add a service; names must be unique."""
+        if service.name in self._services:
+            raise ServiceError(f"duplicate service name {service.name!r}")
+        self._services[service.name] = service
+        return service
+
+    def get(self, name: str) -> Service:
+        """Look up a service by name."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ServiceError(
+                f"no service named {name!r}; have {sorted(self._services)}"
+            ) from None
+
+    def names(self, composite: bool | None = None) -> list[str]:
+        """Service names, optionally filtered by compositeness."""
+        return [
+            name
+            for name, service in self._services.items()
+            if composite is None or service.composite == composite
+        ]
+
+    def services(self) -> list[Service]:
+        """All registered services, in registration order."""
+        return list(self._services.values())
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+
+# ----------------------------------------------------------------------
+# Basic service implementations
+# ----------------------------------------------------------------------
+def _svc_upload_tables(ctx: WorkflowContext) -> float:
+    ctx.dataset.register()
+    ctx.put("ltable", ctx.dataset.ltable)
+    ctx.put("rtable", ctx.dataset.rtable)
+    # Uploading two tables through the web UI: a fixed human cost.
+    return 60.0
+
+
+def _svc_profile_dataset(ctx: WorkflowContext) -> float:
+    profile = {
+        "l_rows": ctx.dataset.ltable.num_rows,
+        "r_rows": ctx.dataset.rtable.num_rows,
+        "l_schema": {k: v.value for k, v in infer_schema(ctx.dataset.ltable).items()},
+        "r_schema": {k: v.value for k, v in infer_schema(ctx.dataset.rtable).items()},
+    }
+    ctx.put("profile", profile)
+    return 0.0
+
+
+def _svc_edit_metadata(ctx: WorkflowContext) -> float:
+    catalog = get_catalog()
+    catalog.set_key(ctx.dataset.ltable, ctx.dataset.l_key)
+    catalog.set_key(ctx.dataset.rtable, ctx.dataset.r_key)
+    # Confirming keys in the UI.
+    return 20.0
+
+
+def _svc_down_sample(ctx: WorkflowContext) -> float:
+    from repro.sampling.down_sample import down_sample
+
+    size = ctx.config.sample_size
+    if ctx.dataset.ltable.num_rows > size * 4:
+        l_sample, r_sample = down_sample(
+            ctx.dataset.ltable,
+            ctx.dataset.rtable,
+            size * 4,
+            l_key=ctx.dataset.l_key,
+            r_key=ctx.dataset.r_key,
+            seed=ctx.config.random_state,
+        )
+        ctx.put("l_dev", l_sample)
+        ctx.put("r_dev", r_sample)
+    else:
+        ctx.put("l_dev", ctx.dataset.ltable)
+        ctx.put("r_dev", ctx.dataset.rtable)
+    return 0.0
+
+
+def _svc_sample_pairs(ctx: WorkflowContext) -> float:
+    sample = _sample_pairs(
+        ctx.dataset, ctx.config.sample_size, ctx.config.random_state, get_catalog()
+    )
+    ctx.put("sample", sample)
+    return 0.0
+
+
+def _svc_generate_blocking_features(ctx: WorkflowContext) -> float:
+    ctx.put(
+        "blocking_features",
+        get_features_for_blocking(
+            ctx.dataset.ltable, ctx.dataset.rtable, ctx.dataset.l_key, ctx.dataset.r_key
+        ),
+    )
+    return 0.0
+
+
+def _svc_generate_matching_features(ctx: WorkflowContext) -> float:
+    ctx.put(
+        "matching_features",
+        get_features_for_matching(
+            ctx.dataset.ltable, ctx.dataset.rtable, ctx.dataset.l_key, ctx.dataset.r_key
+        ),
+    )
+    return 0.0
+
+
+def _svc_extract_sample_vectors(ctx: WorkflowContext) -> float:
+    features = ctx.get("blocking_features")
+    sample = ctx.get("sample")
+    fv = extract_feature_vecs(sample, features)
+    names = features.names()
+    ctx.put("sample_fv", fv)
+    ctx.put("sample_X", feature_matrix(fv, names, impute=False))
+    meta = get_catalog().get_candset_metadata(sample)
+    ctx.put(
+        "sample_pairs",
+        list(zip(sample.column(meta.fk_ltable), sample.column(meta.fk_rtable))),
+    )
+    return 0.0
+
+
+def _svc_label_pairs(ctx: WorkflowContext) -> float:
+    """Label an explicit list of pairs (slot 'pairs_to_label')."""
+    pairs = ctx.get("pairs_to_label")
+    before = ctx.session.labeler.labeling_seconds
+    ctx.put("labels", ctx.session.ask_many(pairs))
+    return ctx.session.labeler.labeling_seconds - before
+
+
+def _active_learn(ctx: WorkflowContext, stage: str) -> float:
+    config = ctx.config
+    before = ctx.session.labeler.labeling_seconds
+    if stage == "blocking":
+        pairs, X = ctx.get("sample_pairs"), ctx.get("sample_X")
+        names = ctx.get("blocking_features").names()
+        seed = config.random_state
+        budget = config.blocking_budget
+    else:
+        pairs, X = ctx.get("candidate_pairs"), ctx.get("candidate_X")
+        names = ctx.get("matching_features").names()
+        seed = config.random_state + 1
+        budget = config.matching_budget
+    result = active_learn_forest(
+        pairs,
+        X,
+        ctx.session,
+        feature_names=names,
+        n_trees=config.n_trees,
+        seed_size=config.seed_size,
+        batch_size=config.batch_size,
+        max_iterations=config.max_iterations,
+        max_questions=budget,
+        random_state=seed,
+    )
+    ctx.put(f"{stage}_stage", result)
+    return ctx.session.labeler.labeling_seconds - before
+
+
+def _svc_active_learn_blocking(ctx: WorkflowContext) -> float:
+    return _active_learn(ctx, "blocking")
+
+
+def _svc_active_learn_matching(ctx: WorkflowContext) -> float:
+    return _active_learn(ctx, "matching")
+
+
+def _svc_extract_blocking_rules(ctx: WorkflowContext) -> float:
+    stage = ctx.get("blocking_stage")
+    features = ctx.get("blocking_features")
+    ctx.put("candidate_rules", extract_rules_from_forest(stage.forest, features))
+    return 0.0
+
+
+def _svc_evaluate_blocking_rules(ctx: WorkflowContext) -> float:
+    stage = ctx.get("blocking_stage")
+    features = ctx.get("blocking_features")
+    X = ctx.get("sample_X")[stage.labeled_indices]
+    X = np.where(np.isnan(X), 0.0, X)
+    y = np.array(stage.labels)
+    evaluations = evaluate_rules(
+        ctx.get("candidate_rules"), X, y, features.names()
+    )
+    rules = select_precise_rules(
+        evaluations,
+        min_precision=ctx.config.min_rule_precision,
+        min_coverage=ctx.config.min_rule_coverage,
+        max_rules=ctx.config.max_rules,
+    )
+    ctx.put("rule_evaluations", evaluations)
+    ctx.put("rules", rules)
+    # The lay user reviews each retained rule (~15s per rule).
+    return 15.0 * len(rules)
+
+
+def _svc_execute_blocking_rules(ctx: WorkflowContext) -> float:
+    rules = ctx.get("rules")
+    dataset = ctx.dataset
+    catalog = get_catalog()
+    if rules:
+        pairs = sorted(
+            execute_rules(rules, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key)
+        )
+        candset = make_candset(
+            pairs, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key,
+            catalog=catalog,
+        )
+        ctx.put("used_fallback", False)
+    else:
+        attr = ctx.config.fallback_overlap_attr or next(
+            name for name in dataset.ltable.columns if name != dataset.l_key
+        )
+        candset = OverlapBlocker(attr, overlap_size=1).block_tables(
+            dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key, catalog=catalog
+        )
+        ctx.put("used_fallback", True)
+    ctx.put("candset", candset)
+    return 0.0
+
+
+def _svc_extract_candidate_vectors(ctx: WorkflowContext) -> float:
+    features = ctx.get("matching_features")
+    candset = ctx.get("candset")
+    fv = extract_feature_vecs(candset, features)
+    ctx.put("candidate_fv", fv)
+    ctx.put("candidate_X", feature_matrix(fv, features.names(), impute=False))
+    meta = get_catalog().get_candset_metadata(candset)
+    ctx.put(
+        "candidate_pairs",
+        list(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable))),
+    )
+    return 0.0
+
+
+def _svc_train_classifier(ctx: WorkflowContext) -> float:
+    """(Re)train the matching forest on everything labeled so far."""
+    stage = ctx.get("matching_stage")
+    ctx.put("matcher", stage.forest)
+    return 0.0
+
+
+def _svc_apply_classifier(ctx: WorkflowContext) -> float:
+    forest = ctx.get("matcher")
+    X = np.where(np.isnan(ctx.get("candidate_X")), 0.0, ctx.get("candidate_X"))
+    predictions = forest.predict_with_alpha(X, alpha=ctx.config.alpha)
+    ctx.put("predictions", [int(p) for p in predictions])
+    candset = ctx.get("candset")
+    match_rows = [i for i, p in enumerate(predictions) if p == 1]
+    matches = candset.take(match_rows)
+    catalog = get_catalog()
+    meta = catalog.get_candset_metadata(candset)
+    catalog.set_candset_metadata(
+        matches, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
+    )
+    ctx.put("matches", matches)
+    return 0.0
+
+
+def _svc_compute_accuracy(ctx: WorkflowContext) -> float:
+    """Accuracy against the dataset's gold pairs (benchmark-only service)."""
+    matches: Table = ctx.get("matches")
+    l_col = next(c for c in matches.columns if c.startswith("ltable_"))
+    r_col = next(c for c in matches.columns if c.startswith("rtable_"))
+    predicted = set(zip(matches.column(l_col), matches.column(r_col)))
+    gold = ctx.dataset.gold_pairs
+    tp = len(predicted & gold)
+    precision = tp / len(predicted) if predicted else 0.0
+    recall = tp / len(gold) if gold else 1.0
+    ctx.put("accuracy", {"precision": precision, "recall": recall, "tp": tp})
+    return 0.0
+
+
+def _svc_crowdsource_labels(ctx: WorkflowContext) -> float:
+    """Marker service: labeling is already routed through ctx.session,
+    whose labeler may be a CrowdLabeler; this service reports its cost."""
+    labeler = ctx.session.labeler
+    ctx.put(
+        "crowd_cost",
+        {
+            "questions": labeler.questions_asked,
+            "dollars": getattr(labeler, "dollar_cost", 0.0),
+        },
+    )
+    return 0.0
+
+
+def _svc_export_results(ctx: WorkflowContext) -> float:
+    matches = ctx.get("matches")
+    ctx.put("export", matches.to_rows())
+    return 0.0
+
+
+def _svc_undo_labels(ctx: WorkflowContext) -> float:
+    """Undo the last N labels (slot 'undo_count') — the AmFam lesson."""
+    count = ctx.get("undo_count")
+    ctx.put("undone", ctx.session.undo(count))
+    return 5.0 * count
+
+
+def _svc_generate_report(ctx: WorkflowContext) -> float:
+    """Render a markdown report of the run so far (profiling/browsing)."""
+    from repro.reporting import em_run_report
+
+    accuracy = ctx.artifacts.get("accuracy")
+    report_accuracy = None
+    if accuracy is not None:
+        precision, recall = accuracy["precision"], accuracy["recall"]
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        report_accuracy = {
+            "precision": precision, "recall": recall, "f1": f1,
+            "false_positives": [], "false_negatives": [],
+        }
+    ctx.put(
+        "report",
+        em_run_report(
+            ctx.task_name,
+            ctx.dataset.ltable,
+            ctx.dataset.rtable,
+            candset=ctx.artifacts.get("candset"),
+            accuracy=report_accuracy,
+            notes=[f"questions asked: {ctx.session.questions_asked}"],
+        ),
+    )
+    return 0.0
+
+
+def _svc_monitor_workflow(ctx: WorkflowContext) -> float:
+    ctx.put(
+        "status",
+        {
+            "questions_asked": ctx.session.questions_asked,
+            "remaining_budget": ctx.session.remaining_budget,
+            "artifacts": sorted(ctx.artifacts),
+        },
+    )
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# Composite services
+# ----------------------------------------------------------------------
+def _svc_get_blocking_rules(ctx: WorkflowContext) -> float:
+    """Composite: everything up to (and including) rule selection."""
+    human = 0.0
+    for name in (
+        "upload_tables",
+        "profile_dataset",
+        "edit_metadata",
+        "sample_pairs",
+        "generate_blocking_features",
+        "extract_sample_vectors",
+        "active_learn_blocking",
+        "extract_blocking_rules",
+        "evaluate_blocking_rules",
+    ):
+        human += DEFAULT_REGISTRY.get(name).run(ctx)
+    return human
+
+
+def _svc_falcon(ctx: WorkflowContext) -> float:
+    """Composite: the full Falcon workflow, as one service."""
+    human = _svc_get_blocking_rules(ctx)
+    for name in (
+        "execute_blocking_rules",
+        "generate_matching_features",
+        "extract_candidate_vectors",
+        "active_learn_matching",
+        "train_classifier",
+        "apply_classifier",
+        "export_results",
+    ):
+        human += DEFAULT_REGISTRY.get(name).run(ctx)
+    return human
+
+
+def build_default_registry() -> ServiceRegistry:
+    """The stock CloudMatcher registry: 18 basic + 2 composite services."""
+    registry = ServiceRegistry()
+    U, C, B = ServiceKind.USER_INTERACTION, ServiceKind.CROWD, ServiceKind.BATCH
+    basic = [
+        ("upload_tables", U, "Upload tables A and B", _svc_upload_tables),
+        ("profile_dataset", B, "Profile schemas and sizes", _svc_profile_dataset),
+        ("edit_metadata", U, "Review/edit key metadata", _svc_edit_metadata),
+        ("down_sample", B, "Intelligently down-sample large tables", _svc_down_sample),
+        ("sample_pairs", B, "Sample tuple pairs from A x B", _svc_sample_pairs),
+        ("generate_blocking_features", B, "Auto-generate blocking features", _svc_generate_blocking_features),
+        ("generate_matching_features", B, "Auto-generate matching features", _svc_generate_matching_features),
+        ("extract_sample_vectors", B, "Feature vectors for the sample", _svc_extract_sample_vectors),
+        ("extract_candidate_vectors", B, "Feature vectors for the candidate set", _svc_extract_candidate_vectors),
+        ("label_pairs", U, "Label a given list of pairs", _svc_label_pairs),
+        ("crowdsource_labels", C, "Route labeling to crowd workers", _svc_crowdsource_labels),
+        ("active_learn_blocking", U, "Active learning for blocking (forest F)", _svc_active_learn_blocking),
+        ("active_learn_matching", U, "Active learning for matching (forest G)", _svc_active_learn_matching),
+        ("extract_blocking_rules", B, "Extract candidate rules from forest F", _svc_extract_blocking_rules),
+        ("evaluate_blocking_rules", U, "Review/retain precise rules", _svc_evaluate_blocking_rules),
+        ("execute_blocking_rules", B, "Execute rules as similarity joins", _svc_execute_blocking_rules),
+        ("train_classifier", B, "Train the matcher on labeled pairs", _svc_train_classifier),
+        ("apply_classifier", B, "Apply the matcher to the candidate set", _svc_apply_classifier),
+    ]
+    for name, kind, description, fn in basic:
+        registry.register(Service(name, kind, description, fn))
+    registry.register(
+        Service(
+            "get_blocking_rules",
+            ServiceKind.USER_INTERACTION,
+            "Composite: learn + review blocking rules",
+            _svc_get_blocking_rules,
+            composite=True,
+        )
+    )
+    registry.register(
+        Service(
+            "falcon",
+            ServiceKind.USER_INTERACTION,
+            "Composite: the end-to-end Falcon workflow",
+            _svc_falcon,
+            composite=True,
+        )
+    )
+    # Extra utilities that are part of the envisioned ecosystem but not
+    # counted among the paper's 18 basic services.
+    registry.register(Service("compute_accuracy", B, "Score matches against gold", _svc_compute_accuracy, core=False))
+    registry.register(Service("export_results", B, "Export the match table", _svc_export_results, core=False))
+    registry.register(Service("undo_labels", U, "Undo the last N labels", _svc_undo_labels, core=False))
+    registry.register(Service("monitor_workflow", B, "Report workflow status", _svc_monitor_workflow, core=False))
+    registry.register(Service("generate_report", B, "Render a markdown run report", _svc_generate_report, core=False))
+    return registry
+
+
+DEFAULT_REGISTRY = build_default_registry()

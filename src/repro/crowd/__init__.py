@@ -1,0 +1,5 @@
+"""Simulated crowdsourcing substrate (the Mechanical Turk substitute)."""
+
+from repro.crowd.workers import CrowdLabeler, CrowdWorker
+
+__all__ = ["CrowdLabeler", "CrowdWorker"]

@@ -1,0 +1,118 @@
+"""Simulated crowdsourcing: worker pools, aggregation, cost, latency.
+
+CloudMatcher lets a task owner hand labeling to Mechanical Turk workers;
+Table 2 reports the resulting dollar cost ($72–$91 in the paper) and the
+wall-clock completion time (22h–36h, dominated by Turk's queueing, not by
+active labeling).  This package replaces Turk with a deterministic
+simulation: a pool of workers with individual accuracies, plurality
+aggregation over ``replication`` assignments per question, a per-
+assignment price, and a latency model with a large queueing component.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import ConfigurationError
+from repro.labeling.oracle import MATCH, NO_MATCH, BaseLabeler, Pair
+
+
+class CrowdWorker:
+    """One simulated worker answering with fixed accuracy."""
+
+    def __init__(self, worker_id: int, accuracy: float, rng: random.Random):
+        if not 0.0 <= accuracy <= 1.0:
+            raise ConfigurationError(f"accuracy must be in [0, 1], got {accuracy}")
+        self.worker_id = worker_id
+        self.accuracy = accuracy
+        self._rng = rng
+        self.answers_given = 0
+
+    def answer(self, true_label: int) -> int:
+        """Answer one question given its true label."""
+        self.answers_given += 1
+        if self._rng.random() < self.accuracy:
+            return true_label
+        return MATCH if true_label == NO_MATCH else NO_MATCH
+
+
+class CrowdLabeler(BaseLabeler):
+    """A Turk-like labeler: replicated questions, majority vote, cost.
+
+    Parameters
+    ----------
+    gold_pairs:
+        Ground truth used to generate worker answers.
+    n_workers, worker_accuracy:
+        Pool size and mean worker accuracy (individual accuracies are
+        jittered +-5%).
+    replication:
+        Assignments per question (odd values avoid ties).
+    price_per_assignment:
+        Dollars paid per answered assignment (Turk-style).
+    mean_latency_seconds:
+        Mean per-question wall-clock latency including queueing; total
+        elapsed time is modelled as questions executing in batches of
+        ``parallelism``.
+    """
+
+    def __init__(
+        self,
+        gold_pairs: set[Pair],
+        n_workers: int = 20,
+        worker_accuracy: float = 0.93,
+        replication: int = 3,
+        price_per_assignment: float = 0.02,
+        mean_latency_seconds: float = 90.0,
+        parallelism: int = 4,
+        seed: int | None = None,
+    ):
+        super().__init__(seconds_per_label=0.0)
+        if replication < 1:
+            raise ConfigurationError(f"replication must be >= 1, got {replication}")
+        if n_workers < replication:
+            raise ConfigurationError("need at least `replication` workers")
+        self.gold_pairs = set(gold_pairs)
+        self.replication = replication
+        self.price_per_assignment = price_per_assignment
+        self.mean_latency_seconds = mean_latency_seconds
+        self.parallelism = parallelism
+        self._rng = random.Random(seed)
+        self.workers = [
+            CrowdWorker(
+                i,
+                min(1.0, max(0.0, worker_accuracy + self._rng.uniform(-0.05, 0.05))),
+                self._rng,
+            )
+            for i in range(n_workers)
+        ]
+        self.assignments = 0
+        self._elapsed_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def dollar_cost(self) -> float:
+        """Total crowd spend so far."""
+        return self.assignments * self.price_per_assignment
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock time the crowd has taken."""
+        return self._elapsed_seconds
+
+    # Labeling time for the crowd IS the elapsed wall clock.
+    @property
+    def labeling_seconds(self) -> float:  # type: ignore[override]
+        return self._elapsed_seconds
+
+    def label(self, pair: Pair) -> int:
+        """Ask the crowd one question; majority vote of `replication` workers."""
+        self.questions_asked += 1
+        true_label = MATCH if tuple(pair) in self.gold_pairs else NO_MATCH
+        panel = self._rng.sample(self.workers, self.replication)
+        votes = sum(worker.answer(true_label) for worker in panel)
+        self.assignments += self.replication
+        # Latency: questions run `parallelism` at a time.
+        latency = self._rng.expovariate(1.0 / self.mean_latency_seconds)
+        self._elapsed_seconds += latency / self.parallelism
+        return MATCH if votes * 2 > self.replication else NO_MATCH

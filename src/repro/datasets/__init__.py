@@ -1,0 +1,31 @@
+"""Synthetic EM datasets with gold standards, mirroring the deployments."""
+
+from repro.datasets.corruptions import DirtinessConfig, corrupt_record, corrupt_value
+from repro.datasets.generator import EMDataset, make_em_dataset, make_string_dataset
+from repro.datasets.scenarios import (
+    CLOUDMATCHER_SCENARIOS,
+    PYMATCHER_SCENARIOS,
+    CloudTaskScenario,
+    PyMatcherScenario,
+    build_cloudmatcher_dataset,
+    build_pymatcher_dataset,
+    cloudmatcher_scenario,
+    pymatcher_scenario,
+)
+
+__all__ = [
+    "CLOUDMATCHER_SCENARIOS",
+    "CloudTaskScenario",
+    "DirtinessConfig",
+    "EMDataset",
+    "PYMATCHER_SCENARIOS",
+    "PyMatcherScenario",
+    "build_cloudmatcher_dataset",
+    "build_pymatcher_dataset",
+    "cloudmatcher_scenario",
+    "corrupt_record",
+    "corrupt_value",
+    "make_em_dataset",
+    "make_string_dataset",
+    "pymatcher_scenario",
+]

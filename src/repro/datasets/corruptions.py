@@ -1,0 +1,164 @@
+"""Corruption primitives: how a clean value appears in a second source.
+
+Dirty data is the story of the paper's hardest deployments (the "Vendors"
+Brazilian generic addresses, the incomplete "Vehicles" records), so the
+generators control dirtiness through an explicit
+:class:`DirtinessConfig` rather than one scalar knob.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(value: str, rng: random.Random) -> str:
+    """Apply one random character edit (swap/delete/insert/replace)."""
+    if not value:
+        return value
+    operation = rng.choice(("swap", "delete", "insert", "replace"))
+    position = rng.randrange(len(value))
+    if operation == "swap" and len(value) > 1:
+        position = min(position, len(value) - 2)
+        return (
+            value[:position]
+            + value[position + 1]
+            + value[position]
+            + value[position + 2 :]
+        )
+    if operation == "delete" and len(value) > 1:
+        return value[:position] + value[position + 1 :]
+    if operation == "insert":
+        return value[:position] + rng.choice(_ALPHABET) + value[position:]
+    return value[:position] + rng.choice(_ALPHABET) + value[position + 1 :]
+
+
+def abbreviate(value: str, rng: random.Random) -> str:
+    """Abbreviate one multi-character token to its initial ('David' -> 'D.')."""
+    tokens = value.split()
+    candidates = [i for i, token in enumerate(tokens) if len(token) > 2]
+    if not candidates:
+        return value
+    index = rng.choice(candidates)
+    tokens[index] = tokens[index][0] + "."
+    return " ".join(tokens)
+
+
+def drop_token(value: str, rng: random.Random) -> str:
+    """Drop one token from a multi-token value."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    tokens.pop(rng.randrange(len(tokens)))
+    return " ".join(tokens)
+
+
+def reorder_tokens(value: str, rng: random.Random) -> str:
+    """Swap two adjacent tokens ('Smith John' for 'John Smith')."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    position = rng.randrange(len(tokens) - 1)
+    tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+    return " ".join(tokens)
+
+
+def case_noise(value: str, rng: random.Random) -> str:
+    """Randomly upper- or lower-case the whole value."""
+    return value.upper() if rng.random() < 0.5 else value.lower()
+
+
+def numeric_jitter(value: float, rng: random.Random, relative: float = 0.05) -> float:
+    """Perturb a number by up to ``relative`` of its magnitude."""
+    scale = abs(value) if value else 1.0
+    return value + rng.uniform(-relative, relative) * scale
+
+
+@dataclass
+class DirtinessConfig:
+    """Per-table corruption rates, all probabilities per value.
+
+    ``generic_value_rate`` maps column name -> (probability, generic
+    value): the whole value is replaced by the generic constant — the
+    Brazilian-vendors failure mode, where vendors "entered some generic
+    addresses instead of their real addresses".
+    """
+
+    typo_rate: float = 0.15
+    abbrev_rate: float = 0.1
+    token_drop_rate: float = 0.05
+    reorder_rate: float = 0.05
+    case_rate: float = 0.05
+    missing_rate: float = 0.02
+    numeric_jitter_rate: float = 0.1
+    generic_value_rate: dict[str, tuple[float, str]] = field(default_factory=dict)
+
+    @classmethod
+    def clean(cls) -> "DirtinessConfig":
+        """No corruption at all."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def light(cls) -> "DirtinessConfig":
+        return cls(0.08, 0.06, 0.02, 0.02, 0.03, 0.01, 0.05)
+
+    @classmethod
+    def moderate(cls) -> "DirtinessConfig":
+        return cls()
+
+    @classmethod
+    def heavy(cls) -> "DirtinessConfig":
+        return cls(0.3, 0.2, 0.12, 0.1, 0.1, 0.12, 0.25)
+
+
+def corrupt_value(
+    value: Any, column: str, config: DirtinessConfig, rng: random.Random
+) -> Any:
+    """Corrupt one attribute value according to the config."""
+    if value is None:
+        return None
+    if rng.random() < config.missing_rate:
+        return None
+    if column in config.generic_value_rate:
+        probability, generic = config.generic_value_rate[column]
+        if rng.random() < probability:
+            return generic
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        if rng.random() < config.numeric_jitter_rate:
+            jittered = numeric_jitter(float(value), rng)
+            return int(round(jittered)) if isinstance(value, int) else jittered
+        return value
+    text = str(value)
+    if rng.random() < config.typo_rate:
+        text = typo(text, rng)
+    if rng.random() < config.abbrev_rate:
+        text = abbreviate(text, rng)
+    if rng.random() < config.token_drop_rate:
+        text = drop_token(text, rng)
+    if rng.random() < config.reorder_rate:
+        text = reorder_tokens(text, rng)
+    if rng.random() < config.case_rate:
+        text = case_noise(text, rng)
+    return text
+
+
+def corrupt_record(
+    record: dict[str, Any],
+    config: DirtinessConfig,
+    rng: random.Random,
+    skip_columns: set[str] = frozenset(),
+) -> dict[str, Any]:
+    """Corrupt every (non-skipped) attribute of a record."""
+    return {
+        column: (
+            value
+            if column in skip_columns
+            else corrupt_value(value, column, config, rng)
+        )
+        for column, value in record.items()
+    }

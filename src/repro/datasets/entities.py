@@ -1,0 +1,158 @@
+"""Entity factories: clean base records for each deployment domain."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.datasets import vocab
+
+Entity = dict[str, Any]
+
+
+def person(rng: random.Random) -> Entity:
+    """A person with name/city/state (the paper's Figure 1 schema)."""
+    return {
+        "name": f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}",
+        "city": rng.choice(vocab.CITIES),
+        "state": rng.choice(vocab.STATES),
+    }
+
+
+def product(rng: random.Random) -> Entity:
+    """A retail product (the Walmart-style scenario)."""
+    brand = rng.choice(vocab.PRODUCT_BRANDS)
+    noun = rng.choice(vocab.PRODUCT_NOUNS)
+    qualifier = rng.choice(vocab.PRODUCT_QUALIFIERS)
+    model = f"{rng.choice('ABCDEFGH')}{rng.randrange(100, 999)}"
+    return {
+        "title": f"{brand} {noun} {qualifier} {model}",
+        "brand": brand,
+        "model": model,
+        "price": round(rng.uniform(10, 900), 2),
+    }
+
+
+def vehicle(rng: random.Random) -> Entity:
+    """A vehicle record (the AmFam Vehicles scenario)."""
+    return {
+        "make": rng.choice(vocab.CAR_MAKES),
+        "model": rng.choice(vocab.CAR_MODELS),
+        "year": rng.randrange(1998, 2019),
+        "vin_fragment": "".join(rng.choice("ABCDEFGHJKLMNPRSTUVWXYZ0123456789") for _ in range(8)),
+    }
+
+
+def address(rng: random.Random) -> Entity:
+    """A postal address (the AmFam Addresses scenario)."""
+    return {
+        "street": (
+            f"{rng.randrange(1, 9999)} {rng.choice(vocab.STREET_NAMES)} "
+            f"{rng.choice(vocab.STREET_TYPES)}"
+        ),
+        "city": rng.choice(vocab.CITIES),
+        "state": rng.choice(vocab.STATES),
+        "zip": f"{rng.randrange(10000, 99999)}",
+    }
+
+
+def vendor(rng: random.Random, brazilian: bool = False) -> Entity:
+    """A vendor with a name and address.
+
+    Brazilian vendors are modelled after the paper's pathology: their
+    names collide heavily (a handful of 'Comercio'-style house names), so
+    once their addresses turn generic, "even users cannot match such
+    vendors".
+    """
+    if brazilian:
+        name = (
+            f"{rng.choice(vocab.LAST_NAMES[:6])} Comercio "
+            f"{rng.choice(('Ltda', 'SA'))}"
+        )
+        street = f"Rua {rng.choice(vocab.STREET_NAMES)} {rng.randrange(1, 2000)}"
+        city = rng.choice(vocab.MUNICIPALITIES)
+        country = "Brazil"
+    else:
+        name = (
+            f"{rng.choice(vocab.LAST_NAMES)} "
+            f"{rng.choice(vocab.PRODUCT_NOUNS)} {rng.choice(vocab.COMPANY_SUFFIXES)}"
+        )
+        street = (
+            f"{rng.randrange(1, 9999)} {rng.choice(vocab.STREET_NAMES)} "
+            f"{rng.choice(vocab.STREET_TYPES)}"
+        )
+        city = rng.choice(vocab.CITIES)
+        country = "USA"
+    return {"name": name, "address": street, "city": city, "country": country}
+
+
+def ranch(rng: random.Random) -> Entity:
+    """A Brazilian cattle ranch (the Land Use scenario, Appendix B)."""
+    owner = f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+    name = (
+        f"{rng.choice(vocab.RANCH_WORDS)} "
+        f"{rng.choice(vocab.BOOK_TITLE_WORDS)} {rng.choice(vocab.LAST_NAMES)}"
+    )
+    return {
+        "ranch_name": name,
+        "owner": owner,
+        "municipality": rng.choice(vocab.MUNICIPALITIES),
+        "area_ha": round(rng.uniform(50, 20000), 1),
+    }
+
+
+def restaurant(rng: random.Random) -> Entity:
+    """A restaurant (the classic EM benchmark domain)."""
+    return {
+        "name": (
+            f"{rng.choice(vocab.CUISINES)} {rng.choice(vocab.RESTAURANT_WORDS)}"
+        ),
+        "street": (
+            f"{rng.randrange(1, 999)} {rng.choice(vocab.STREET_NAMES)} "
+            f"{rng.choice(vocab.STREET_TYPES)}"
+        ),
+        "city": rng.choice(vocab.CITIES),
+        "cuisine": rng.choice(vocab.CUISINES),
+    }
+
+
+def citation(rng: random.Random) -> Entity:
+    """A bibliographic record (the Economics / citations scenarios)."""
+    n_authors = rng.randrange(1, 4)
+    authors = ", ".join(
+        f"{rng.choice(vocab.FIRST_NAMES)[0]}. {rng.choice(vocab.LAST_NAMES)}"
+        for _ in range(n_authors)
+    )
+    title_words = rng.sample(vocab.PAPER_TOPIC_WORDS, 5)
+    return {
+        "title": " ".join(title_words).capitalize(),
+        "authors": authors,
+        "venue": rng.choice(vocab.VENUES),
+        "year": rng.randrange(1995, 2019),
+    }
+
+
+def book(rng: random.Random) -> Entity:
+    """A book with ISBN and page count (Figure 4's blocking-rule domain)."""
+    return {
+        "title": (
+            f"The {rng.choice(vocab.BOOK_TITLE_WORDS)} "
+            f"{rng.choice(vocab.BOOK_TITLE_WORDS)}"
+        ),
+        "author": f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}",
+        "isbn": f"978{rng.randrange(10**9, 10**10 - 1)}",
+        "pages": rng.randrange(80, 1200),
+    }
+
+
+FACTORIES = {
+    "person": person,
+    "product": product,
+    "vehicle": vehicle,
+    "address": address,
+    "vendor": vendor,
+    "ranch": ranch,
+    "restaurant": restaurant,
+    "citation": citation,
+    "book": book,
+}

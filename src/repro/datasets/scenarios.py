@@ -1,0 +1,289 @@
+"""Deployment scenarios: synthetic analogs of Tables 1 and 2.
+
+The paper evaluates PyMatcher on 8 real deployments (Table 1) and
+CloudMatcher on 13 EM tasks (Table 2).  The raw datasets are proprietary,
+so each deployment is modelled as a seeded synthetic scenario whose
+*dirtiness structure* reproduces the paper's accuracy story:
+
+* clean-ish tasks reach precision/recall in the 90s;
+* "Vehicles" has records so incomplete that the expert labels unreliably
+  (hard pairs + an uncertain labeler), capping accuracy;
+* "Vendors" contains Brazilian vendors with generic addresses that are
+  unmatchable; the "(no Brazil)" variant removes them and accuracy
+  recovers;
+* "Addresses" carries similar dirty-data problems that depress recall.
+
+Table sizes are scaled to laptop scale (hundreds to a few thousand rows);
+the benchmarks compare the *shape* of the results with the paper, not the
+absolute wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datasets import entities
+from repro.datasets.corruptions import DirtinessConfig
+from repro.datasets.generator import EMDataset, make_em_dataset
+from repro.datasets.vocab import GENERIC_ADDRESS
+from repro.table.schema import is_missing
+
+
+@dataclass(frozen=True)
+class PyMatcherScenario:
+    """One Table 1 deployment: org, purpose, and dataset parameters."""
+
+    key: str
+    organization: str
+    purpose: str
+    domain: str  # entity factory name
+    n_left: int
+    n_right: int
+    match_fraction: float
+    dirtiness_level: str  # clean / light / moderate / heavy
+    seed: int
+    in_production: bool
+    team: str
+
+
+@dataclass(frozen=True)
+class CloudTaskScenario:
+    """One Table 2 CloudMatcher task."""
+
+    key: str
+    organization: str
+    task: str
+    domain: str
+    n_left: int
+    n_right: int
+    match_fraction: float
+    dirtiness_level: str
+    use_crowd: bool
+    label_budget: int
+    seed: int
+    hard_missing_fields: int | None = None  # Vehicles: pairs with >= k missing
+    brazil_fraction: float = 0.0  # Vendors: share of Brazilian vendors
+    generic_address_rate: float = 0.0  # Vendors/Addresses generic values
+    drop_brazil: bool = False  # the "(no Brazil)" cleanup variant
+
+
+_DIRTINESS = {
+    "clean": DirtinessConfig.clean,
+    "light": DirtinessConfig.light,
+    "moderate": DirtinessConfig.moderate,
+    "heavy": DirtinessConfig.heavy,
+}
+
+
+#: Table 1 — the eight PyMatcher deployments.
+PYMATCHER_SCENARIOS: tuple[PyMatcherScenario, ...] = (
+    PyMatcherScenario(
+        "walmart", "Walmart", "Debug an EM pipeline in production",
+        "product", 900, 900, 0.45, "moderate", 11, True, "1 researcher",
+    ),
+    PyMatcherScenario(
+        "johnson_controls", "Johnson Controls", "Integrate equipment datasets",
+        "product", 700, 650, 0.4, "light", 12, True, "2 part-time",
+    ),
+    PyMatcherScenario(
+        "recruit", "Recruit Holdings", "Integrate disparate datasets",
+        "restaurant", 800, 800, 0.5, "moderate", 13, True, "1 part-time",
+    ),
+    PyMatcherScenario(
+        "marshfield", "Marshfield Clinic", "Integrate patient datasets",
+        "person", 1000, 950, 0.5, "light", 14, False, "2 part-time",
+    ),
+    PyMatcherScenario(
+        "economics_uw", "Economics (UW)", "Build a better EM pipeline",
+        "citation", 900, 900, 0.5, "moderate", 15, True, "1 student",
+    ),
+    PyMatcherScenario(
+        "land_use_uw", "Land Use (UW)", "Build a better EM pipeline",
+        "ranch", 1200, 1100, 0.55, "moderate", 16, True, "1 student",
+    ),
+    PyMatcherScenario(
+        "limnology_uw", "Limnology (UW)", "Integrate lake datasets",
+        "address", 700, 700, 0.5, "light", 17, True, "1 part-time",
+    ),
+    PyMatcherScenario(
+        "amfam", "American Family Insurance", "Integrate customer datasets",
+        "person", 1000, 1000, 0.45, "moderate", 18, False, "2 part-time",
+    ),
+)
+
+
+#: Table 2 — the thirteen CloudMatcher tasks.
+CLOUDMATCHER_SCENARIOS: tuple[CloudTaskScenario, ...] = (
+    CloudTaskScenario(
+        "products_a", "Company A", "Match product catalogs", "product",
+        600, 600, 0.5, "light", False, 400, 21,
+    ),
+    CloudTaskScenario(
+        "products_b", "Company A", "Match products to listings", "product",
+        900, 850, 0.45, "moderate", True, 600, 22,
+    ),
+    CloudTaskScenario(
+        "songs", "Company B", "Match song metadata", "citation",
+        800, 800, 0.5, "light", True, 500, 23,
+    ),
+    CloudTaskScenario(
+        "papers", "Domain science (UW)", "Match citation records", "citation",
+        700, 700, 0.55, "moderate", False, 500, 24,
+    ),
+    CloudTaskScenario(
+        "restaurants", "Non-profit", "Match restaurant listings", "restaurant",
+        300, 300, 0.5, "light", False, 300, 25,
+    ),
+    CloudTaskScenario(
+        "people", "Company C", "Match customer records", "person",
+        1200, 1200, 0.5, "light", False, 600, 26,
+    ),
+    CloudTaskScenario(
+        "buildings", "Johnson Controls", "Match building equipment", "product",
+        500, 480, 0.45, "moderate", False, 400, 27,
+    ),
+    CloudTaskScenario(
+        "ranches", "Land Use (UW)", "Match cattle ranches", "ranch",
+        1500, 1400, 0.5, "moderate", True, 800, 28,
+    ),
+    CloudTaskScenario(
+        "books", "Company D", "Match book catalogs", "book",
+        800, 800, 0.5, "light", False, 400, 29,
+    ),
+    CloudTaskScenario(
+        "vehicles", "American Family Insurance", "Match vehicle records", "vehicle",
+        900, 900, 0.45, "heavy", False, 700, 30,
+        hard_missing_fields=1,
+    ),
+    CloudTaskScenario(
+        "addresses", "American Family Insurance", "Match addresses", "address",
+        1000, 1000, 0.5, "heavy", False, 700, 31,
+        generic_address_rate=0.12,
+    ),
+    CloudTaskScenario(
+        "vendors", "Company E", "Match vendor masters", "vendor",
+        900, 900, 0.5, "moderate", False, 700, 32,
+        brazil_fraction=0.3, generic_address_rate=0.85,
+    ),
+    CloudTaskScenario(
+        "vendors_no_brazil", "Company E", "Match vendor masters (no Brazil)", "vendor",
+        900, 900, 0.5, "moderate", False, 700, 32,
+        brazil_fraction=0.3, generic_address_rate=0.85, drop_brazil=True,
+    ),
+)
+
+
+def _vendor_factory(brazil_fraction: float):
+    def factory(rng: random.Random):
+        return entities.vendor(rng, brazilian=rng.random() < brazil_fraction)
+
+    return factory
+
+
+def _drop_brazil(dataset: EMDataset) -> EMDataset:
+    """The data-cleaning step: remove Brazilian vendors from both sides."""
+    keep_l = dataset.ltable.select(lambda row: row.get("country") != "Brazil")
+    keep_r = dataset.rtable.select(lambda row: row.get("country") != "Brazil")
+    l_ids = set(keep_l.column(dataset.l_key))
+    r_ids = set(keep_r.column(dataset.r_key))
+    gold = {(a, b) for a, b in dataset.gold_pairs if a in l_ids and b in r_ids}
+    cleaned = EMDataset(
+        name=dataset.name + "_no_brazil",
+        ltable=keep_l,
+        rtable=keep_r,
+        gold_pairs=gold,
+        l_key=dataset.l_key,
+        r_key=dataset.r_key,
+        notes=dict(dataset.notes),
+    )
+    return cleaned.register()
+
+
+def _find_hard_pairs(dataset: EMDataset, min_missing: int) -> set[tuple[Any, Any]]:
+    """Gold pairs whose right record has >= ``min_missing`` missing values."""
+    r_index = dataset.rtable.index_by(dataset.r_key)
+    hard = set()
+    for l_id, r_id in dataset.gold_pairs:
+        row = r_index[r_id]
+        missing = sum(
+            1 for column, value in row.items() if column != "id" and is_missing(value)
+        )
+        if missing >= min_missing:
+            hard.add((l_id, r_id))
+    return hard
+
+
+def build_pymatcher_dataset(scenario: PyMatcherScenario) -> EMDataset:
+    """Materialize a Table 1 scenario as an EMDataset."""
+    dataset = make_em_dataset(
+        entities.FACTORIES[scenario.domain],
+        scenario.n_left,
+        scenario.n_right,
+        match_fraction=scenario.match_fraction,
+        dirtiness=_DIRTINESS[scenario.dirtiness_level](),
+        seed=scenario.seed,
+        name=scenario.key,
+    )
+    dataset.notes["scenario"] = scenario
+    return dataset
+
+
+def build_cloudmatcher_dataset(scenario: CloudTaskScenario) -> EMDataset:
+    """Materialize a Table 2 scenario as an EMDataset."""
+    dirtiness = _DIRTINESS[scenario.dirtiness_level]()
+    factory = entities.FACTORIES[scenario.domain]
+    if scenario.domain == "vendor":
+        # Generic addresses afflict only the *Brazilian* vendors, applied
+        # in the post-pass below — not via the per-copy corruption config,
+        # which is country-blind.
+        factory = _vendor_factory(scenario.brazil_fraction)
+    elif scenario.generic_address_rate:
+        dirtiness.generic_value_rate["street"] = (
+            scenario.generic_address_rate,
+            GENERIC_ADDRESS,
+        )
+    dataset = make_em_dataset(
+        factory,
+        scenario.n_left,
+        scenario.n_right,
+        match_fraction=scenario.match_fraction,
+        dirtiness=dirtiness,
+        seed=scenario.seed,
+        name=scenario.key,
+    )
+    if scenario.domain == "vendor" and scenario.generic_address_rate:
+        # The generic-address pathology: Brazilian vendors (and only they)
+        # entered a placeholder address instead of their real one.
+        rng = random.Random(scenario.seed + 1)
+        for table in (dataset.ltable, dataset.rtable):
+            addresses = list(table.column("address"))
+            for i, country in enumerate(table.column("country")):
+                if country == "Brazil" and rng.random() < scenario.generic_address_rate:
+                    addresses[i] = GENERIC_ADDRESS
+            table.add_column("address", addresses)
+    if scenario.drop_brazil:
+        dataset = _drop_brazil(dataset)
+    if scenario.hard_missing_fields is not None:
+        dataset.notes["hard_pairs"] = _find_hard_pairs(
+            dataset, scenario.hard_missing_fields
+        )
+    dataset.notes["scenario"] = scenario
+    return dataset
+
+
+def pymatcher_scenario(key: str) -> PyMatcherScenario:
+    """Look up a Table 1 scenario by key."""
+    for scenario in PYMATCHER_SCENARIOS:
+        if scenario.key == key:
+            return scenario
+    raise KeyError(f"no PyMatcher scenario {key!r}")
+
+
+def cloudmatcher_scenario(key: str) -> CloudTaskScenario:
+    """Look up a Table 2 scenario by key."""
+    for scenario in CLOUDMATCHER_SCENARIOS:
+        if scenario.key == key:
+            return scenario
+    raise KeyError(f"no CloudMatcher scenario {key!r}")

@@ -1,0 +1,121 @@
+"""Vocabulary pools for the synthetic entity generators.
+
+Fixed word lists keep generation deterministic and offline while giving
+the corruption machinery realistic raw material (multi-token names,
+abbreviation targets, etc.).
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "David", "Daniel", "Joseph", "Maria", "Anna", "James", "Robert", "Linda",
+    "Michael", "Sarah", "Carlos", "Lucia", "Pedro", "Julia", "Thomas", "Laura",
+    "Kevin", "Alice", "Brian", "Diana", "Marcos", "Elena", "Victor", "Sofia",
+    "Andre", "Paula", "Rafael", "Clara", "Hugo", "Irene", "Oscar", "Nina",
+    "Walter", "Rosa", "Felix", "Marta", "Simon", "Vera", "Leon", "Iris",
+]
+
+LAST_NAMES = [
+    "Smith", "Wilson", "Johnson", "Silva", "Santos", "Oliveira", "Brown",
+    "Miller", "Davis", "Garcia", "Martinez", "Anderson", "Taylor", "Moore",
+    "Costa", "Pereira", "Almeida", "Souza", "Lima", "Ferreira", "Walker",
+    "Young", "King", "Wright", "Hill", "Green", "Baker", "Nelson", "Carter",
+    "Mitchell", "Roberts", "Turner", "Phillips", "Campbell", "Parker", "Evans",
+    "Edwards", "Collins", "Stewart", "Morris",
+]
+
+CITIES = [
+    "Madison", "Middleton", "San Jose", "Austin", "Portland", "Denver",
+    "Columbus", "Boston", "Seattle", "Atlanta", "Chicago", "Dallas",
+    "Phoenix", "Omaha", "Tucson", "Raleigh", "Tampa", "Fresno", "Mesa",
+    "Reno", "Boise", "Fargo", "Salem", "Provo", "Waco", "Toledo",
+]
+
+STATES = [
+    "WI", "CA", "TX", "OR", "CO", "OH", "MA", "WA", "GA", "IL",
+    "AZ", "NE", "NC", "FL", "NV", "ID", "ND", "UT",
+]
+
+STREET_NAMES = [
+    "Main", "Oak", "Maple", "Cedar", "Pine", "Elm", "Washington", "Lake",
+    "Hill", "Park", "River", "Sunset", "Ridge", "Meadow", "Forest", "Spring",
+    "Highland", "Valley", "Prairie", "Willow",
+]
+
+STREET_TYPES = ["St", "Ave", "Blvd", "Rd", "Ln", "Dr", "Ct", "Way"]
+
+PRODUCT_BRANDS = [
+    "Acme", "Globex", "Initech", "Umbra", "Vertex", "Nimbus", "Zephyr",
+    "Quanta", "Helix", "Orion", "Pulsar", "Vega", "Lyra", "Nova", "Atlas",
+    "Titan",
+]
+
+PRODUCT_NOUNS = [
+    "Blender", "Toaster", "Kettle", "Mixer", "Vacuum", "Heater", "Fan",
+    "Lamp", "Speaker", "Monitor", "Keyboard", "Mouse", "Router", "Charger",
+    "Camera", "Printer", "Headphones", "Microwave", "Grill", "Drill",
+]
+
+PRODUCT_QUALIFIERS = [
+    "Pro", "Max", "Mini", "Plus", "Ultra", "Lite", "Classic", "Deluxe",
+    "Compact", "Premium", "Eco", "Turbo",
+]
+
+CAR_MAKES = [
+    "Toyota", "Honda", "Ford", "Chevrolet", "Nissan", "Subaru", "Mazda",
+    "Hyundai", "Kia", "Volkswagen", "Dodge", "Jeep",
+]
+
+CAR_MODELS = [
+    "Sedan LX", "Coupe SE", "Hatch GT", "Wagon XL", "Truck HD", "SUV Sport",
+    "Compact S", "Crossover T", "Minivan L", "Roadster R",
+]
+
+VENUES = [
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "WSDM",
+    "ICDM", "SDM",
+]
+
+PAPER_TOPIC_WORDS = [
+    "entity", "matching", "blocking", "learning", "crowdsourcing", "schema",
+    "integration", "cleaning", "extraction", "indexing", "scalable", "deep",
+    "active", "string", "similarity", "join", "resolution", "record",
+    "linkage", "data", "query", "optimization", "transaction", "storage",
+    "distributed", "streaming", "graph", "provenance", "sampling", "privacy",
+    "compression", "caching", "partitioning", "replication", "consistency",
+    "recovery", "concurrency", "workload", "benchmark", "adaptive",
+    "incremental", "approximate", "parallel", "columnar", "versioning",
+    "lineage", "wrangling", "profiling", "curation", "annotation",
+    "federated", "semantic", "temporal", "spatial", "probabilistic",
+    "declarative", "interactive", "visual", "embedded", "serverless",
+]
+
+CUISINES = [
+    "Italian", "Mexican", "Thai", "Indian", "Chinese", "French", "Greek",
+    "Japanese", "Korean", "Vietnamese",
+]
+
+RESTAURANT_WORDS = [
+    "Garden", "House", "Palace", "Corner", "Grill", "Bistro", "Kitchen",
+    "Table", "Cafe", "Diner", "Tavern", "Terrace",
+]
+
+MUNICIPALITIES = [
+    "Altamira", "Maraba", "Santarem", "Itaituba", "Paragominas", "Tucuma",
+    "Xinguara", "Redencao", "Jacareacanga", "Novo Progresso", "Anapu",
+    "Uruara", "Placas", "Trairao", "Rurópolis", "Brasil Novo",
+]
+
+RANCH_WORDS = [
+    "Fazenda", "Rancho", "Sitio", "Estancia", "Agropecuaria", "Chacara",
+]
+
+COMPANY_SUFFIXES = ["Inc", "LLC", "Ltd", "Corp", "Co", "Group", "Holdings"]
+
+BOOK_TITLE_WORDS = [
+    "Shadow", "River", "Garden", "Winter", "Secret", "Journey", "Silent",
+    "Golden", "Broken", "Hidden", "Lost", "Distant", "Burning", "Frozen",
+    "Crimson", "Midnight", "Forgotten", "Endless", "Sacred", "Wild",
+]
+
+GENERIC_ADDRESS = "Rua Principal 1, Centro"

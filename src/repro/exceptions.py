@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro (Magellan reproduction) ecosystem.
+
+Every package in the ecosystem raises errors from this hierarchy so that
+callers can catch ``ReproError`` to handle any ecosystem failure, or a
+narrower class for targeted handling.  This mirrors the Magellan design
+principle that tools are *self-contained*: a tool validates its own inputs
+and metadata and fails with a precise, typed error instead of propagating a
+confusing downstream failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro ecosystem."""
+
+
+class SchemaError(ReproError):
+    """A table does not have the expected column(s) or column types."""
+
+
+class KeyConstraintError(ReproError):
+    """A declared key column contains duplicates or missing values."""
+
+
+class ForeignKeyConstraintError(ReproError):
+    """A declared key-foreign-key relationship no longer holds.
+
+    This is the error behind the paper's self-containment discussion: a
+    command that needs the FK constraint between a candidate set C and its
+    base tables A, B first *checks* the constraint and raises (or warns)
+    when another tool has invalidated it.
+    """
+
+
+class CatalogError(ReproError):
+    """Metadata was requested from the catalog but is absent or invalid."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before being fitted."""
+
+
+class LabelingError(ReproError):
+    """A labeling session was used incorrectly (e.g. undo with no labels)."""
+
+
+class BudgetExhaustedError(LabelingError):
+    """A labeling session ran out of its label budget."""
+
+
+class WorkflowError(ReproError):
+    """An EM workflow definition or execution is invalid."""
+
+
+class ServiceError(ReproError):
+    """A CloudMatcher service invocation failed or was misconfigured."""
+
+
+class ConfigurationError(ReproError):
+    """A tool was configured with invalid parameters."""

@@ -1,0 +1,285 @@
+"""Falcon: end-to-end self-service entity matching (Figure 3).
+
+The lay user's only job is answering match/no-match questions.  Falcon:
+
+1. samples tuple pairs from A x B,
+2. actively learns a random forest F on the sample,
+3. extracts candidate blocking rules from F's trees and keeps the precise
+   executable ones,
+4. executes the rules on A x B (as similarity joins) to get the candidate
+   set C,
+5. actively learns a second forest G on C, and
+6. applies G to C with the alpha-voting rule to predict matches.
+
+Note on execution semantics: rule execution via joins drops pairs whose
+blocking attributes are missing (they cannot appear in a join output),
+whereas per-pair rule evaluation lets such pairs survive.  This mirrors
+the real system's behaviour, where blocking operates on indexed values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.blocking.base import make_candset
+from repro.blocking.overlap import OverlapBlocker
+from repro.blocking.rules import BlockingRule, execute_rules
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.datasets.generator import EMDataset
+from repro.exceptions import ConfigurationError
+from repro.falcon.active import ActiveLearningResult, active_learn_forest
+from repro.falcon.rules import (
+    RuleEvaluation,
+    evaluate_rules,
+    extract_rules_from_forest,
+    select_precise_rules,
+)
+from repro.features.extraction import extract_feature_vecs, feature_matrix
+from repro.features.generation import (
+    get_features_for_blocking,
+    get_features_for_matching,
+)
+from repro.labeling.session import LabelingSession
+from repro.table.table import Table
+
+Pair = tuple[Any, Any]
+
+
+@dataclass
+class FalconConfig:
+    """Knobs of the Falcon workflow (paper notation in comments)."""
+
+    sample_size: int = 1500  # |S|, the pairs sampled for blocking-rule learning
+    n_trees: int = 10  # n, forest size
+    alpha: float = 0.5  # match iff >= alpha * n trees vote match
+    seed_size: int = 20
+    batch_size: int = 10
+    max_iterations: int = 15
+    blocking_budget: int = 200  # questions for stage 1
+    matching_budget: int = 400  # questions for stage 2
+    min_rule_precision: float = 0.95
+    min_rule_coverage: int = 5
+    max_rules: int = 4
+    random_state: int = 0
+    fallback_overlap_attr: str | None = None  # blocker if no rule qualifies
+
+
+@dataclass
+class FalconResult:
+    """Everything Falcon produced, with the cost accounting of Table 2."""
+
+    candset: Table
+    matches: Table  # candset rows predicted as matches
+    predictions: list[int]  # per-candset-row 0/1
+    rules: list[BlockingRule]
+    rule_evaluations: list[RuleEvaluation]
+    blocking_stage: ActiveLearningResult
+    matching_stage: ActiveLearningResult
+    questions: int  # total questions asked
+    machine_seconds: float
+    used_fallback_blocker: bool = False
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def match_pairs(self) -> set[Pair]:
+        """The predicted matching (l_id, r_id) pairs."""
+        fk_columns = [c for c in self.matches.columns if c.startswith(("ltable_", "rtable_"))]
+        l_col = next(c for c in fk_columns if c.startswith("ltable_"))
+        r_col = next(c for c in fk_columns if c.startswith("rtable_"))
+        return set(zip(self.matches.column(l_col), self.matches.column(r_col)))
+
+
+def _sample_pairs(
+    dataset: EMDataset, size: int, seed: int, catalog: Catalog
+) -> Table:
+    """Step 1: a sample of pairs from A x B with likely matches present.
+
+    A uniform sample of A x B contains almost no matches (matches are a
+    ~1/|A| fraction of the cross product), which would starve active
+    learning.  Falcon's sampler solves this with cluster-based sampling;
+    we approximate it with token-index probing: for sampled right tuples,
+    the most token-overlapping left tuples form the likely-match half of
+    the pool, and uniform random pairs form the likely-non-match half.
+    """
+    from collections import defaultdict
+
+    from repro.sampling.down_sample import _row_tokens, _string_columns
+
+    rng = np.random.default_rng(seed)
+    l_ids = dataset.ltable.column(dataset.l_key)
+    r_ids = dataset.rtable.column(dataset.r_key)
+    pairs: set[Pair] = set()
+
+    # Likely matches: probe an inverted index of left-table tokens.
+    l_columns = _string_columns(dataset.ltable, dataset.l_key)
+    r_columns = _string_columns(dataset.rtable, dataset.r_key)
+    index: dict[str, list[int]] = defaultdict(list)
+    l_tokens: list[set[str]] = []
+    for i in range(dataset.ltable.num_rows):
+        tokens = _row_tokens(dataset.ltable, l_columns, i)
+        l_tokens.append(tokens)
+        for token in tokens:
+            index[token].append(i)
+    probe_positions = rng.permutation(dataset.rtable.num_rows)[: size // 2]
+    for j in probe_positions:
+        tokens = _row_tokens(dataset.rtable, r_columns, int(j))
+        counts: dict[int, int] = defaultdict(int)
+        for token in tokens:
+            # Skip stop-word-like tokens with huge posting lists.
+            posting = index.get(token, ())
+            if len(posting) <= max(20, dataset.ltable.num_rows // 20):
+                for position in posting:
+                    counts[position] += 1
+        if not counts:
+            continue
+        best = sorted(counts, key=lambda p: -counts[p])[:2]
+        for position in best:
+            pairs.add((l_ids[position], r_ids[int(j)]))
+
+    # Likely non-matches: uniform random pairs.
+    need = size - len(pairs)
+    for i, j in zip(
+        rng.integers(0, len(l_ids), size=max(need * 2, 0)),
+        rng.integers(0, len(r_ids), size=max(need * 2, 0)),
+    ):
+        if len(pairs) >= size:
+            break
+        pairs.add((l_ids[int(i)], r_ids[int(j)]))
+
+    return make_candset(
+        sorted(pairs), dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key,
+        catalog=catalog,
+    )
+
+
+def run_falcon(
+    dataset: EMDataset,
+    session: LabelingSession,
+    config: FalconConfig | None = None,
+    catalog: Catalog | None = None,
+) -> FalconResult:
+    """Run the end-to-end Falcon workflow on an EM dataset."""
+    config = config or FalconConfig()
+    cat = catalog if catalog is not None else get_catalog()
+    dataset.register(cat)
+    started = time.perf_counter()
+
+    # ---- Stage 1: learn blocking rules ------------------------------
+    sample = _sample_pairs(dataset, config.sample_size, config.random_state, cat)
+    blocking_features = get_features_for_blocking(
+        dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+    )
+    sample_fv = extract_feature_vecs(sample, blocking_features, cat)
+    feature_names = blocking_features.names()
+    X_sample = feature_matrix(sample_fv, feature_names, impute=False)
+    meta = cat.get_candset_metadata(sample)
+    sample_pairs = list(
+        zip(sample.column(meta.fk_ltable), sample.column(meta.fk_rtable))
+    )
+    blocking_stage = active_learn_forest(
+        sample_pairs,
+        X_sample,
+        session,
+        feature_names=feature_names,
+        n_trees=config.n_trees,
+        seed_size=config.seed_size,
+        batch_size=config.batch_size,
+        max_iterations=config.max_iterations,
+        max_questions=config.blocking_budget,
+        random_state=config.random_state,
+    )
+
+    # ---- Stage 2: extract, evaluate, and execute rules ---------------
+    candidates = extract_rules_from_forest(blocking_stage.forest, blocking_features)
+    X_labeled = np.where(np.isnan(X_sample[blocking_stage.labeled_indices]), 0.0, X_sample[blocking_stage.labeled_indices])
+    y_labeled = np.array(blocking_stage.labels)
+    rule_evaluations = evaluate_rules(candidates, X_labeled, y_labeled, feature_names)
+    rules = select_precise_rules(
+        rule_evaluations,
+        min_precision=config.min_rule_precision,
+        min_coverage=config.min_rule_coverage,
+        max_rules=config.max_rules,
+    )
+
+    used_fallback = False
+    if rules:
+        survivor_pairs = execute_rules(
+            rules, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+        )
+        candset = make_candset(
+            sorted(survivor_pairs),
+            dataset.ltable,
+            dataset.rtable,
+            dataset.l_key,
+            dataset.r_key,
+            catalog=cat,
+        )
+    else:
+        # No precise executable rule: fall back to a conservative overlap
+        # blocker on the designated (or first string) attribute.
+        used_fallback = True
+        attr = config.fallback_overlap_attr
+        if attr is None:
+            attr = next(
+                name for name in dataset.ltable.columns if name != dataset.l_key
+            )
+        blocker = OverlapBlocker(attr, overlap_size=1)
+        candset = blocker.block_tables(
+            dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key, catalog=cat
+        )
+
+    # ---- Stage 3: learn and apply the matcher ------------------------
+    matching_features = get_features_for_matching(
+        dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+    )
+    candset_fv = extract_feature_vecs(candset, matching_features, cat)
+    match_feature_names = matching_features.names()
+    X_cand = feature_matrix(candset_fv, match_feature_names, impute=False)
+    cand_meta = cat.get_candset_metadata(candset)
+    cand_pairs = list(
+        zip(candset.column(cand_meta.fk_ltable), candset.column(cand_meta.fk_rtable))
+    )
+    if not cand_pairs:
+        raise ConfigurationError("blocking produced an empty candidate set")
+    matching_stage = active_learn_forest(
+        cand_pairs,
+        X_cand,
+        session,
+        feature_names=match_feature_names,
+        n_trees=config.n_trees,
+        seed_size=config.seed_size,
+        batch_size=config.batch_size,
+        max_iterations=config.max_iterations,
+        max_questions=config.matching_budget,
+        random_state=config.random_state + 1,
+    )
+    predictions = matching_stage.forest.predict_with_alpha(
+        np.where(np.isnan(X_cand), 0.0, X_cand), alpha=config.alpha
+    )
+    match_rows = [i for i, p in enumerate(predictions) if p == 1]
+    matches = candset.take(match_rows)
+    cat.set_candset_metadata(
+        matches,
+        cand_meta.key,
+        cand_meta.fk_ltable,
+        cand_meta.fk_rtable,
+        cand_meta.ltable,
+        cand_meta.rtable,
+    )
+
+    return FalconResult(
+        candset=candset,
+        matches=matches,
+        predictions=[int(p) for p in predictions],
+        rules=rules,
+        rule_evaluations=rule_evaluations,
+        blocking_stage=blocking_stage,
+        matching_stage=matching_stage,
+        questions=session.questions_asked,
+        machine_seconds=time.perf_counter() - started,
+        used_fallback_blocker=used_fallback,
+    )

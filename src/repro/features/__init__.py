@@ -1,0 +1,33 @@
+"""Feature engineering for EM: generation, the feature table F, extraction."""
+
+from repro.features.extraction import extract_feature_vecs, feature_matrix, label_vector
+from repro.features.feature import (
+    Feature,
+    FeatureTable,
+    make_blackbox_feature,
+    make_exact_feature,
+    make_numeric_feature,
+    make_string_feature,
+    make_token_feature,
+)
+from repro.features.generation import (
+    get_attr_corres,
+    get_features_for_blocking,
+    get_features_for_matching,
+)
+
+__all__ = [
+    "Feature",
+    "FeatureTable",
+    "extract_feature_vecs",
+    "feature_matrix",
+    "get_attr_corres",
+    "get_features_for_blocking",
+    "get_features_for_matching",
+    "label_vector",
+    "make_blackbox_feature",
+    "make_exact_feature",
+    "make_numeric_feature",
+    "make_string_feature",
+    "make_token_feature",
+]

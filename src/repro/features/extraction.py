@@ -1,0 +1,110 @@
+"""Feature-vector extraction from candidate sets.
+
+``extract_feature_vecs`` is the guide step that turns a candidate set into
+the learner's input: one row per candidate pair with one column per
+feature.  It validates the candidate set's catalog metadata first
+(self-containment) and carries the FK columns through so predictions can
+be traced back to the original tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.blocking.base import CANDSET_ID
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.catalog.checks import validate_candset
+from repro.features.feature import FeatureTable
+from repro.ml.impute import SimpleImputer
+from repro.table.table import Table
+
+
+def extract_feature_vecs(
+    candset: Table,
+    feature_table: FeatureTable,
+    catalog: Catalog | None = None,
+    label_column: str | None = None,
+) -> Table:
+    """Compute feature vectors for each pair of a candidate set.
+
+    Returns a table with ``_id``, both FK columns, one column per feature
+    (NaN where an attribute value is missing), and — when ``label_column``
+    is given — that column copied through from the candidate set.
+    """
+    cat = catalog if catalog is not None else get_catalog()
+    meta = validate_candset(candset, cat)
+    l_index = meta.ltable.index_by(cat.get_key(meta.ltable))
+    r_index = meta.rtable.index_by(cat.get_key(meta.rtable))
+
+    columns: dict[str, list[Any]] = {
+        CANDSET_ID: list(candset.column(meta.key)),
+        meta.fk_ltable: list(candset.column(meta.fk_ltable)),
+        meta.fk_rtable: list(candset.column(meta.fk_rtable)),
+    }
+    for feature in feature_table:
+        columns[feature.name] = []
+    if label_column is not None:
+        candset.require_columns([label_column])
+        columns[label_column] = list(candset.column(label_column))
+
+    # Candidate sets repeat attribute-value pairs heavily (think state or
+    # city columns), so each feature's values are memoized per distinct
+    # (l_value, r_value) pair.  Unhashable values fall back to direct
+    # evaluation.
+    memos: dict[str, dict] = {feature.name: {} for feature in feature_table}
+    for l_key_value, r_key_value in zip(
+        candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)
+    ):
+        l_row = l_index[l_key_value]
+        r_row = r_index[r_key_value]
+        for feature in feature_table:
+            l_value = l_row[feature.l_attr]
+            r_value = r_row[feature.r_attr]
+            memo = memos[feature.name]
+            try:
+                value = memo.get((l_value, r_value))
+                if value is None:
+                    value = memo[(l_value, r_value)] = feature(l_value, r_value)
+            except TypeError:
+                value = feature(l_value, r_value)
+            columns[feature.name].append(value)
+
+    result = Table(columns)
+    cat.set_candset_metadata(
+        result, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
+    )
+    return result
+
+
+def feature_matrix(
+    fv_table: Table,
+    feature_names: list[str],
+    impute: bool = True,
+    imputer: SimpleImputer | None = None,
+) -> np.ndarray:
+    """Turn feature-vector columns into a float matrix for the learners.
+
+    With ``impute=True`` (default) NaNs are filled by ``imputer`` (a fresh
+    mean-imputer if none given).  Pass a pre-fit imputer to apply training
+    statistics to a prediction set.
+    """
+    fv_table.require_columns(feature_names)
+    matrix = np.column_stack(
+        [np.asarray(fv_table.column(name), dtype=np.float64) for name in feature_names]
+    )
+    if not impute:
+        return matrix
+    if imputer is None:
+        imputer = SimpleImputer(strategy="mean")
+        return imputer.fit_transform(matrix)
+    if imputer.is_fitted:
+        return imputer.transform(matrix)
+    return imputer.fit_transform(matrix)
+
+
+def label_vector(fv_table: Table, label_column: str = "label") -> np.ndarray:
+    """Extract the integer label column as an array."""
+    fv_table.require_columns([label_column])
+    return np.asarray(fv_table.column(label_column), dtype=np.int64)

@@ -1,0 +1,188 @@
+"""Feature objects: named similarity functions over an attribute pair.
+
+A feature such as ``jaccard(3gram(A.name), 3gram(B.name))`` (the paper's
+Section 4.1 example) is represented as a :class:`Feature` carrying enough
+structure — attribute pair, similarity kind, tokenizer, measure — that
+downstream tools can do more than call it: the rule-based blocker and
+Falcon's rule executor translate *token-similarity* features into scalable
+sim joins instead of evaluating them pairwise.
+
+Feature values are floats; missing attribute values yield NaN, which the
+feature-vector extractor leaves for the imputer to fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError
+from repro.table.schema import is_missing
+from repro.table.table import Row
+from repro.text.tokenizers import Tokenizer
+
+NAN = float("nan")
+
+# Similarity kinds drive executability of blocking rules:
+# 'token'  - set similarity over tokens (join-executable)
+# 'exact'  - exact equality (join-executable)
+# 'edit'   - character-level similarity (pairwise only)
+# 'numeric'- numeric comparison (pairwise only)
+# 'blackbox' - arbitrary user function (pairwise only)
+SIM_KINDS = ("token", "exact", "edit", "numeric", "blackbox")
+
+
+@dataclass
+class Feature:
+    """A named similarity feature over one attribute from each table."""
+
+    name: str
+    l_attr: str
+    r_attr: str
+    sim_kind: str
+    measure_name: str
+    function: Callable[[Any, Any], float]
+    tokenizer: Tokenizer | None = None
+
+    def __post_init__(self) -> None:
+        if self.sim_kind not in SIM_KINDS:
+            raise ConfigurationError(
+                f"sim_kind must be one of {SIM_KINDS}, got {self.sim_kind!r}"
+            )
+
+    def __call__(self, l_value: Any, r_value: Any) -> float:
+        """Evaluate the feature on a pair of attribute values."""
+        return self.function(l_value, r_value)
+
+    def apply_rows(self, l_row: Row, r_row: Row) -> float:
+        """Evaluate the feature on a pair of rows."""
+        return self.function(l_row[self.l_attr], r_row[self.r_attr])
+
+    @property
+    def is_join_executable(self) -> bool:
+        """Can a 'feature >= t' predicate be executed as a join?"""
+        return self.sim_kind in ("token", "exact")
+
+    def __repr__(self) -> str:
+        return (
+            f"Feature({self.name!r}: {self.measure_name} over "
+            f"A.{self.l_attr} x B.{self.r_attr})"
+        )
+
+
+class FeatureTable:
+    """The mutable global feature set F of the guide.
+
+    The paper stresses customizability: PyMatcher auto-generates a feature
+    set, stores it in a variable F, and gives the user ways to delete
+    features and declaratively add more.  This class is that F.
+    """
+
+    def __init__(self, features: list[Feature] | None = None):
+        self._features: dict[str, Feature] = {}
+        for feature in features or []:
+            self.add(feature)
+
+    def add(self, feature: Feature) -> None:
+        """Add a feature; names must be unique."""
+        if feature.name in self._features:
+            raise ConfigurationError(f"duplicate feature name {feature.name!r}")
+        self._features[feature.name] = feature
+
+    def remove(self, name: str) -> None:
+        """Delete a feature by name."""
+        if name not in self._features:
+            raise ConfigurationError(f"no feature named {name!r}")
+        del self._features[name]
+
+    def get(self, name: str) -> Feature:
+        """Look up a feature by name."""
+        try:
+            return self._features[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no feature named {name!r}; have {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All feature names, in insertion order."""
+        return list(self._features)
+
+    def features(self) -> list[Feature]:
+        """All features, in insertion order."""
+        return list(self._features.values())
+
+    def subset(self, names: list[str]) -> "FeatureTable":
+        """A new FeatureTable with only the named features."""
+        return FeatureTable([self.get(name) for name in names])
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._features
+
+    def __iter__(self):
+        return iter(self._features.values())
+
+    def __repr__(self) -> str:
+        return f"FeatureTable({len(self)} features)"
+
+
+def make_token_feature(
+    name: str,
+    l_attr: str,
+    r_attr: str,
+    tokenizer: Tokenizer,
+    measure,
+    measure_name: str,
+) -> Feature:
+    """Build a token-similarity feature (join-executable)."""
+
+    def function(l_value: Any, r_value: Any) -> float:
+        if is_missing(l_value) or is_missing(r_value):
+            return NAN
+        l_tokens = tokenizer.tokenize_cached(str(l_value).lower())
+        r_tokens = tokenizer.tokenize_cached(str(r_value).lower())
+        return float(measure.get_raw_score(l_tokens, r_tokens))
+
+    return Feature(name, l_attr, r_attr, "token", measure_name, function, tokenizer)
+
+
+def make_string_feature(
+    name: str, l_attr: str, r_attr: str, measure, measure_name: str
+) -> Feature:
+    """Build a character-level (edit-based) similarity feature."""
+
+    def function(l_value: Any, r_value: Any) -> float:
+        if is_missing(l_value) or is_missing(r_value):
+            return NAN
+        return float(measure.get_sim_score(str(l_value).lower(), str(r_value).lower()))
+
+    return Feature(name, l_attr, r_attr, "edit", measure_name, function)
+
+
+def make_exact_feature(name: str, l_attr: str, r_attr: str) -> Feature:
+    """Build an exact-equality feature (join-executable)."""
+    from repro.text.sim.generic import exact_match
+
+    def function(l_value: Any, r_value: Any) -> float:
+        if isinstance(l_value, str):
+            l_value = l_value.lower()
+        if isinstance(r_value, str):
+            r_value = r_value.lower()
+        return exact_match(l_value, r_value)
+
+    return Feature(name, l_attr, r_attr, "exact", "exact_match", function)
+
+
+def make_numeric_feature(
+    name: str, l_attr: str, r_attr: str, measure, measure_name: str
+) -> Feature:
+    """Build a numeric-comparison feature."""
+    return Feature(name, l_attr, r_attr, "numeric", measure_name, measure)
+
+
+def make_blackbox_feature(name: str, l_attr: str, r_attr: str, function) -> Feature:
+    """Wrap an arbitrary user function as a feature (pairwise only)."""
+    return Feature(name, l_attr, r_attr, "blackbox", "blackbox", function)

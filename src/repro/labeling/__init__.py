@@ -1,0 +1,26 @@
+"""Labeling: simulated labelers and budget/undo-aware sessions."""
+
+from repro.labeling.oracle import (
+    MATCH,
+    NO_MATCH,
+    BaseLabeler,
+    OracleLabeler,
+    Pair,
+    UncertainOracleLabeler,
+)
+from repro.labeling.consensus import ConsensusLabeler
+from repro.labeling.console import ConsoleLabeler
+from repro.labeling.session import LabelingSession, LabelRecord
+
+__all__ = [
+    "BaseLabeler",
+    "ConsensusLabeler",
+    "ConsoleLabeler",
+    "LabelRecord",
+    "LabelingSession",
+    "MATCH",
+    "NO_MATCH",
+    "OracleLabeler",
+    "Pair",
+    "UncertainOracleLabeler",
+]

@@ -1,0 +1,58 @@
+"""Multi-labeler consensus: labeling accurately with multiple people.
+
+Section 4.3 lists "how to label accurately with multiple people" among
+the open ML-deployment challenges.  :class:`ConsensusLabeler` implements
+the standard escalation protocol: two independent labelers answer every
+question; on disagreement a designated adjudicator breaks the tie.  Cost
+accounting (questions, time) covers everyone involved, so benchmarks can
+weigh accuracy gained against labeling effort spent.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.labeling.oracle import BaseLabeler, Pair
+
+
+class ConsensusLabeler(BaseLabeler):
+    """Two labelers per question; an adjudicator resolves disagreements.
+
+    ``labelers`` must hold exactly two primary labelers; ``adjudicator``
+    is typically the most trusted (and most expensive) person.  The
+    reported ``questions_asked`` counts *questions*, while
+    ``assignments`` counts individual human answers (2 or 3 per question).
+    """
+
+    def __init__(
+        self,
+        labelers: list[BaseLabeler],
+        adjudicator: BaseLabeler,
+    ):
+        if len(labelers) != 2:
+            raise ConfigurationError(
+                f"ConsensusLabeler takes exactly 2 primary labelers, got {len(labelers)}"
+            )
+        super().__init__(seconds_per_label=0.0)
+        self.labelers = list(labelers)
+        self.adjudicator = adjudicator
+        self.assignments = 0
+        self.disagreements = 0
+
+    @property
+    def labeling_seconds(self) -> float:  # type: ignore[override]
+        """Total human time across primaries and the adjudicator."""
+        return (
+            sum(labeler.labeling_seconds for labeler in self.labelers)
+            + self.adjudicator.labeling_seconds
+        )
+
+    def label(self, pair: Pair) -> int:
+        self.questions_asked += 1
+        first = self.labelers[0].label(pair)
+        second = self.labelers[1].label(pair)
+        self.assignments += 2
+        if first == second:
+            return first
+        self.disagreements += 1
+        self.assignments += 1
+        return self.adjudicator.label(pair)

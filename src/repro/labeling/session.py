@@ -1,0 +1,128 @@
+"""Labeling sessions: budgets, history, and undo.
+
+Two production lessons from the paper are encoded here:
+
+* CloudMatcher caps questions (Table 2 tops out at 1200); the session
+  enforces a hard **budget** and raises once it is exhausted.
+* The AmFam vehicles task failed partly because "CloudMatcher provided no
+  way for him to *undo* the labeling" after the expert realized a batch
+  was wrong.  Sessions therefore keep full history and support
+  ``undo(n)`` / ``relabel``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocking.base import candset_pairs
+from repro.catalog.catalog import Catalog
+from repro.exceptions import BudgetExhaustedError, LabelingError
+from repro.labeling.oracle import BaseLabeler, Pair
+from repro.table.table import Table
+
+
+@dataclass
+class LabelRecord:
+    """One answered question."""
+
+    pair: Pair
+    label: int
+
+
+class LabelingSession:
+    """Mediates every label request against one labeler.
+
+    ``budget=None`` means unlimited.  All labels are remembered; asking
+    the same pair again returns the cached answer without spending budget
+    (users are not asked to re-label pairs they already labeled).
+    """
+
+    def __init__(self, labeler: BaseLabeler, budget: int | None = None):
+        if budget is not None and budget < 1:
+            raise LabelingError(f"budget must be >= 1 or None, got {budget}")
+        self.labeler = labeler
+        self.budget = budget
+        self._history: list[LabelRecord] = []
+        self._labels: dict[Pair, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def questions_asked(self) -> int:
+        """Number of distinct questions actually asked."""
+        return len(self._history)
+
+    @property
+    def remaining_budget(self) -> int | None:
+        if self.budget is None:
+            return None
+        return self.budget - self.questions_asked
+
+    @property
+    def labels(self) -> dict[Pair, int]:
+        """Current label for every pair labeled so far."""
+        return dict(self._labels)
+
+    def has_budget(self, n: int = 1) -> bool:
+        """Can ``n`` more questions be asked?"""
+        return self.budget is None or self.questions_asked + n <= self.budget
+
+    # ------------------------------------------------------------------
+    def ask(self, pair: Pair) -> int:
+        """Label one pair (cached if already answered)."""
+        pair = tuple(pair)
+        if pair in self._labels:
+            return self._labels[pair]
+        if not self.has_budget():
+            raise BudgetExhaustedError(
+                f"label budget of {self.budget} exhausted after "
+                f"{self.questions_asked} questions"
+            )
+        label = self.labeler.label(pair)
+        self._history.append(LabelRecord(pair, label))
+        self._labels[pair] = label
+        return label
+
+    def ask_many(self, pairs: list[Pair]) -> list[int]:
+        """Label a batch of pairs in order."""
+        return [self.ask(pair) for pair in pairs]
+
+    # ------------------------------------------------------------------
+    def undo(self, n: int = 1) -> list[LabelRecord]:
+        """Retract the last ``n`` answers, refunding their budget.
+
+        Returns the retracted records (most recent first).
+        """
+        if n < 1:
+            raise LabelingError(f"undo count must be >= 1, got {n}")
+        if n > len(self._history):
+            raise LabelingError(
+                f"cannot undo {n} labels; only {len(self._history)} recorded"
+            )
+        retracted = []
+        for _ in range(n):
+            record = self._history.pop()
+            self._labels.pop(record.pair, None)
+            retracted.append(record)
+        return retracted
+
+    def relabel(self, pair: Pair, label: int) -> None:
+        """Manually correct an existing answer (no budget charge)."""
+        pair = tuple(pair)
+        if pair not in self._labels:
+            raise LabelingError(f"pair {pair} has not been labeled")
+        self._labels[pair] = label
+        for record in self._history:
+            if record.pair == pair:
+                record.label = label
+
+    # ------------------------------------------------------------------
+    def label_candset(
+        self,
+        candset: Table,
+        label_column: str = "label",
+        catalog: Catalog | None = None,
+    ) -> Table:
+        """Label every pair of a candidate set, appending ``label_column``."""
+        pairs = candset_pairs(candset, catalog)
+        candset.add_column(label_column, self.ask_many(pairs))
+        return candset

@@ -1,0 +1,43 @@
+"""Matchers: ML matchers, rule matchers, combiners, selection, debugging."""
+
+from repro.matchers.debugger import debug_wrong_predictions, feature_separation_report
+from repro.matchers.deep import DeepMatcher
+from repro.matchers.ml_matcher import (
+    DTMatcher,
+    KNNMatcher,
+    LogRegMatcher,
+    MLMatcher,
+    NBMatcher,
+    RFMatcher,
+    SVMMatcher,
+    XGMatcher,
+)
+from repro.matchers.rule_matcher import (
+    BooleanRuleMatcher,
+    MatchRule,
+    MLRuleMatcher,
+    ThresholdMatcher,
+    eval_matches,
+)
+from repro.matchers.selection import SelectionResult, select_matcher
+
+__all__ = [
+    "BooleanRuleMatcher",
+    "DTMatcher",
+    "KNNMatcher",
+    "DeepMatcher",
+    "LogRegMatcher",
+    "MLMatcher",
+    "MLRuleMatcher",
+    "MatchRule",
+    "NBMatcher",
+    "RFMatcher",
+    "SVMMatcher",
+    "XGMatcher",
+    "SelectionResult",
+    "ThresholdMatcher",
+    "debug_wrong_predictions",
+    "eval_matches",
+    "feature_separation_report",
+    "select_matcher",
+]

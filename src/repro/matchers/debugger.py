@@ -1,0 +1,77 @@
+"""Match debugger: explain and triage matcher mistakes.
+
+Table 3 lists "matching debuggers" as pain-point tools.  Given a labeled
+feature-vector table with predictions, the debugger surfaces the mistaken
+pairs ranked by how confidently the matcher was wrong, and reports which
+features most separate matches from non-matches (a cheap, model-agnostic
+verify-by-eye aid for the user conversation the paper describes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.ml_matcher import MLMatcher
+from repro.table.table import Table
+
+
+def debug_wrong_predictions(
+    matcher: MLMatcher,
+    fv_table: Table,
+    gold_column: str = "label",
+    top_k: int = 20,
+) -> Table:
+    """Rank mispredicted pairs by the matcher's (misplaced) confidence.
+
+    Returns a table with ``_id``, gold, predicted, and the match
+    probability, most-confidently-wrong first.
+    """
+    fv_table.require_columns([gold_column])
+    proba = matcher.predict_proba(fv_table)
+    gold = np.asarray(fv_table.column(gold_column), dtype=np.int64)
+    predicted = (proba >= 0.5).astype(np.int64)
+    ids = fv_table.column("_id") if "_id" in fv_table else list(range(fv_table.num_rows))
+    confidence_in_error = np.where(predicted == 1, proba, 1.0 - proba)
+    wrong = np.nonzero(predicted != gold)[0]
+    order = wrong[np.argsort(-confidence_in_error[wrong])][:top_k]
+    return Table(
+        {
+            "_id": [ids[i] for i in order],
+            "gold": [int(gold[i]) for i in order],
+            "predicted": [int(predicted[i]) for i in order],
+            "match_probability": [float(proba[i]) for i in order],
+        }
+    )
+
+
+def feature_separation_report(
+    fv_table: Table,
+    feature_names: list[str],
+    gold_column: str = "label",
+) -> Table:
+    """Rank features by how well their means separate the two classes.
+
+    Separation is the absolute difference between the feature's mean over
+    matches and over non-matches (NaNs skipped) — a quick signal for which
+    features are pulling weight and which are noise the user may delete
+    from the feature table F.
+    """
+    fv_table.require_columns([gold_column, *feature_names])
+    gold = np.asarray(fv_table.column(gold_column), dtype=np.int64)
+    rows = []
+    for name in feature_names:
+        values = np.asarray(fv_table.column(name), dtype=np.float64)
+        with np.errstate(all="ignore"):
+            match_mean = float(np.nanmean(values[gold == 1])) if np.any(gold == 1) else float("nan")
+            non_match_mean = float(np.nanmean(values[gold == 0])) if np.any(gold == 0) else float("nan")
+        separation = abs(match_mean - non_match_mean)
+        rows.append(
+            {
+                "feature": name,
+                "match_mean": match_mean,
+                "non_match_mean": non_match_mean,
+                "separation": 0.0 if separation != separation else separation,
+            }
+        )
+    rows.sort(key=lambda row: -row["separation"])
+    return Table.from_rows(rows)

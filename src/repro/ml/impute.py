@@ -1,0 +1,65 @@
+"""Missing-value imputation for feature matrices.
+
+Similarity functions return NaN when either attribute value is missing
+(see :mod:`repro.text.sim.generic`); learners require finite inputs, so
+feature extraction runs matrices through an imputer first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ml.base import Estimator, as_float_array
+
+_STRATEGIES = ("mean", "median", "constant")
+
+
+class SimpleImputer(Estimator):
+    """Column-wise imputation of NaNs with mean, median, or a constant."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {_STRATEGIES}, got {strategy!r}"
+            )
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X) -> "SimpleImputer":
+        """Learn per-column fill statistics."""
+        X = as_float_array(X)
+        if self.strategy == "constant":
+            self.statistics_ = np.full(X.shape[1], self.fill_value)
+        else:
+            reducer = np.nanmean if self.strategy == "mean" else np.nanmedian
+            import warnings
+
+            with warnings.catch_warnings():
+                # All-NaN columns legitimately occur (a feature undefined on
+                # the whole sample); they fall back to fill_value below.
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                self.statistics_ = reducer(X, axis=0)
+            # Columns that are entirely NaN fall back to the constant.
+            self.statistics_ = np.where(
+                np.isnan(self.statistics_), self.fill_value, self.statistics_
+            )
+        self._mark_fitted()
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Fill NaNs using the fitted statistics."""
+        self.check_fitted()
+        X = as_float_array(X).copy()
+        if X.shape[1] != len(self.statistics_):
+            raise ValueError(
+                f"X has {X.shape[1]} columns, imputer was fit on {len(self.statistics_)}"
+            )
+        for column in range(X.shape[1]):
+            mask = np.isnan(X[:, column])
+            X[mask, column] = self.statistics_[column]
+        return X
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit on X and immediately transform it."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,155 @@
+"""Linear classifiers: logistic regression and a linear SVM.
+
+Both are trained with full-batch gradient descent on standardized inputs,
+which is robust for the small-to-medium feature-vector tables EM produces
+(hundreds to tens of thousands of rows, dozens of features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_float_array,
+    as_label_array,
+    check_consistent,
+)
+
+
+def _standardize_fit(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    std[std == 0.0] = 1.0
+    return mean, std
+
+
+class LogisticRegression(Estimator, ClassifierMixin):
+    """Binary logistic regression with L2 regularization.
+
+    Parameters
+    ----------
+    learning_rate, max_iter, tol:
+        Gradient-descent controls; training stops early once the gradient
+        norm falls below ``tol``.
+    l2:
+        L2 penalty strength (0 disables regularization).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 500,
+        tol: float = 1e-6,
+        l2: float = 1e-3,
+    ):
+        if max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.l2 = l2
+        self.classes_: np.ndarray = np.array([], dtype=np.int64)
+
+    def fit(self, X, y, feature_names: list[str] | None = None) -> "LogisticRegression":
+        """Full-batch gradient descent on standardized inputs."""
+        X = as_float_array(X)
+        y = as_label_array(y)
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) > 2:
+            raise ConfigurationError("LogisticRegression is binary-only")
+        self._mean, self._std = _standardize_fit(X)
+        Xs = (X - self._mean) / self._std
+        target = (y == self.classes_[-1]).astype(np.float64)
+        n_samples, n_features = Xs.shape
+        self.coef_ = np.zeros(n_features)
+        self.intercept_ = 0.0
+        for _ in range(self.max_iter):
+            logits = Xs @ self.coef_ + self.intercept_
+            proba = 1.0 / (1.0 + np.exp(-logits))
+            error = proba - target
+            grad_w = Xs.T @ error / n_samples + self.l2 * self.coef_
+            grad_b = float(error.mean())
+            self.coef_ -= self.learning_rate * grad_w
+            self.intercept_ -= self.learning_rate * grad_b
+            if np.sqrt(np.sum(grad_w**2) + grad_b**2) < self.tol:
+                break
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed distance to the decision boundary (standardized space)."""
+        self.check_fitted()
+        X = as_float_array(X)
+        Xs = (X - self._mean) / self._std
+        return Xs @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Columns ordered as ``classes_``; single-class fits are certain."""
+        scores = self.decision_function(X)
+        positive = 1.0 / (1.0 + np.exp(-scores))
+        if len(self.classes_) == 1:
+            return np.ones((len(scores), 1))
+        return np.column_stack([1.0 - positive, positive])
+
+
+class LinearSVM(Estimator, ClassifierMixin):
+    """Linear SVM trained by subgradient descent on the hinge loss."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        max_iter: int = 500,
+        l2: float = 1e-2,
+    ):
+        if max_iter < 1:
+            raise ConfigurationError("max_iter must be >= 1")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.classes_: np.ndarray = np.array([], dtype=np.int64)
+
+    def fit(self, X, y, feature_names: list[str] | None = None) -> "LinearSVM":
+        """Subgradient descent on the L2-regularized hinge loss."""
+        X = as_float_array(X)
+        y = as_label_array(y)
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) > 2:
+            raise ConfigurationError("LinearSVM is binary-only")
+        self._mean, self._std = _standardize_fit(X)
+        Xs = (X - self._mean) / self._std
+        target = np.where(y == self.classes_[-1], 1.0, -1.0)
+        n_samples, n_features = Xs.shape
+        self.coef_ = np.zeros(n_features)
+        self.intercept_ = 0.0
+        for iteration in range(1, self.max_iter + 1):
+            step = self.learning_rate / np.sqrt(iteration)
+            margins = target * (Xs @ self.coef_ + self.intercept_)
+            violating = margins < 1.0
+            grad_w = self.l2 * self.coef_ - (
+                Xs[violating].T @ target[violating] / n_samples
+            )
+            grad_b = -float(target[violating].sum()) / n_samples
+            self.coef_ -= step * grad_w
+            self.intercept_ -= step * grad_b
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Signed margin of each sample (standardized space)."""
+        self.check_fitted()
+        X = as_float_array(X)
+        Xs = (X - self._mean) / self._std
+        return Xs @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Platt-style squashing of the margin (not calibrated)."""
+        scores = self.decision_function(X)
+        positive = 1.0 / (1.0 + np.exp(-scores))
+        if len(self.classes_) == 1:
+            return np.ones((len(scores), 1))
+        return np.column_stack([1.0 - positive, positive])

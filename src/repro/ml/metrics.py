@@ -1,0 +1,82 @@
+"""Classification metrics: the quantities the paper's tables report.
+
+Table 1 and Table 2 report precision/recall; the guide (Figure 2) selects
+matchers by cross-validated F1.  Positive class defaults to 1 ("match").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import as_label_array
+
+
+def confusion_counts(
+    y_true, y_pred, positive: int = 1
+) -> tuple[int, int, int, int]:
+    """Return (true_pos, false_pos, true_neg, false_neg)."""
+    y_true = as_label_array(y_true)
+    y_pred = as_label_array(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    is_pos_true = y_true == positive
+    is_pos_pred = y_pred == positive
+    tp = int(np.sum(is_pos_true & is_pos_pred))
+    fp = int(np.sum(~is_pos_true & is_pos_pred))
+    tn = int(np.sum(~is_pos_true & ~is_pos_pred))
+    fn = int(np.sum(is_pos_true & ~is_pos_pred))
+    return tp, fp, tn, fn
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of labels predicted correctly."""
+    y_true = as_label_array(y_true)
+    y_pred = as_label_array(y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, positive: int = 1) -> float:
+    """tp / (tp + fp); 0.0 when nothing was predicted positive."""
+    tp, fp, _, _ = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, positive: int = 1) -> float:
+    """tp / (tp + fn); 0.0 when there are no positives."""
+    tp, _, _, fn = confusion_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def precision_recall_f1(y_true, y_pred, positive: int = 1) -> tuple[float, float, float]:
+    """All three headline metrics in one pass."""
+    tp, fp, _, fn = confusion_counts(y_true, y_pred, positive)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2.0 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return precision, recall, f1
+
+
+def log_loss(y_true, proba, eps: float = 1e-15) -> float:
+    """Binary cross-entropy of probability predictions for class 1."""
+    y_true = as_label_array(y_true)
+    proba = np.clip(np.asarray(proba, dtype=np.float64), eps, 1.0 - eps)
+    if proba.ndim == 2:
+        proba = proba[:, 1]
+    return float(-np.mean(y_true * np.log(proba) + (1 - y_true) * np.log(1 - proba)))

@@ -1,0 +1,99 @@
+"""Naive Bayes classifiers over feature vectors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_float_array,
+    as_label_array,
+    check_consistent,
+)
+
+
+class GaussianNB(Estimator, ClassifierMixin):
+    """Gaussian naive Bayes with per-class feature means and variances."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_: np.ndarray = np.array([], dtype=np.int64)
+
+    def fit(self, X, y, feature_names: list[str] | None = None) -> "GaussianNB":
+        """Estimate per-class feature means/variances and priors."""
+        X = as_float_array(X)
+        y = as_label_array(y)
+        check_consistent(X, y)
+        self.classes_ = np.unique(y)
+        self.theta_ = np.vstack([X[y == c].mean(axis=0) for c in self.classes_])
+        self.var_ = np.vstack([X[y == c].var(axis=0) for c in self.classes_])
+        self.var_ += self.var_smoothing * X.var(axis=0).max() + self.var_smoothing
+        counts = np.array([np.sum(y == c) for c in self.classes_], dtype=np.float64)
+        self.class_log_prior_ = np.log(counts / counts.sum())
+        self._mark_fitted()
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        log_likelihood = []
+        for i in range(len(self.classes_)):
+            log_prob = -0.5 * np.sum(np.log(2.0 * np.pi * self.var_[i]))
+            log_prob = log_prob - 0.5 * np.sum(
+                ((X - self.theta_[i]) ** 2) / self.var_[i], axis=1
+            )
+            log_likelihood.append(self.class_log_prior_[i] + log_prob)
+        return np.column_stack(log_likelihood)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Normalized class posteriors, columns ordered as ``classes_``."""
+        self.check_fitted()
+        X = as_float_array(X)
+        joint = self._joint_log_likelihood(X)
+        joint -= joint.max(axis=1, keepdims=True)
+        proba = np.exp(joint)
+        return proba / proba.sum(axis=1, keepdims=True)
+
+
+class BernoulliNB(Estimator, ClassifierMixin):
+    """Bernoulli naive Bayes; features are binarized at ``binarize``."""
+
+    def __init__(self, alpha: float = 1.0, binarize: float = 0.5):
+        self.alpha = alpha
+        self.binarize = binarize
+        self.classes_: np.ndarray = np.array([], dtype=np.int64)
+
+    def fit(self, X, y, feature_names: list[str] | None = None) -> "BernoulliNB":
+        """Estimate smoothed per-class feature activation rates."""
+        X = as_float_array(X)
+        y = as_label_array(y)
+        check_consistent(X, y)
+        binary = (X > self.binarize).astype(np.float64)
+        self.classes_ = np.unique(y)
+        counts = np.array([np.sum(y == c) for c in self.classes_], dtype=np.float64)
+        self.class_log_prior_ = np.log(counts / counts.sum())
+        self.feature_log_prob_ = np.vstack(
+            [
+                np.log(
+                    (binary[y == c].sum(axis=0) + self.alpha)
+                    / (np.sum(y == c) + 2.0 * self.alpha)
+                )
+                for c in self.classes_
+            ]
+        )
+        self.feature_log_neg_prob_ = np.log1p(-np.exp(self.feature_log_prob_))
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Normalized class posteriors, columns ordered as ``classes_``."""
+        self.check_fitted()
+        X = as_float_array(X)
+        binary = (X > self.binarize).astype(np.float64)
+        joint = (
+            binary @ self.feature_log_prob_.T
+            + (1.0 - binary) @ self.feature_log_neg_prob_.T
+            + self.class_log_prior_
+        )
+        joint -= joint.max(axis=1, keepdims=True)
+        proba = np.exp(joint)
+        return proba / proba.sum(axis=1, keepdims=True)

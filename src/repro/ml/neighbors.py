@@ -1,0 +1,74 @@
+"""k-nearest-neighbors classifier.
+
+A non-parametric baseline for the matcher zoo: predictions are majority
+votes of the k closest training points under Euclidean distance on
+standardized features.  Brute-force distances via numpy broadcasting —
+ideal for EM's small labeled samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ml.base import (
+    ClassifierMixin,
+    Estimator,
+    as_float_array,
+    as_label_array,
+    check_consistent,
+)
+
+
+class KNeighborsClassifier(Estimator, ClassifierMixin):
+    """Majority vote over the k nearest (standardized-Euclidean) neighbors."""
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ConfigurationError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.classes_: np.ndarray = np.array([], dtype=np.int64)
+
+    def fit(self, X, y, feature_names: list[str] | None = None) -> "KNeighborsClassifier":
+        """Memorize the (standardized) training set."""
+        X = as_float_array(X)
+        y = as_label_array(y)
+        check_consistent(X, y)
+        self.classes_, self._y_indices = np.unique(y, return_inverse=True)
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0)
+        self._std[self._std == 0.0] = 1.0
+        self._X = (X - self._mean) / self._std
+        self._mark_fitted()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Neighborhood class frequencies, columns ordered as ``classes_``."""
+        self.check_fitted()
+        X = as_float_array(X)
+        if X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, model was fit on {self._X.shape[1]}"
+            )
+        Xs = (X - self._mean) / self._std
+        k = min(self.n_neighbors, self._X.shape[0])
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        # Chunked distance computation keeps memory bounded.
+        chunk = max(1, 2_000_000 // max(self._X.shape[0], 1))
+        for start in range(0, Xs.shape[0], chunk):
+            block = Xs[start : start + chunk]
+            distances = np.sqrt(
+                np.maximum(
+                    (block**2).sum(axis=1)[:, None]
+                    - 2.0 * block @ self._X.T
+                    + (self._X**2).sum(axis=1)[None, :],
+                    0.0,
+                )
+            )
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for i, neighbor_ids in enumerate(nearest):
+                counts = np.bincount(
+                    self._y_indices[neighbor_ids], minlength=len(self.classes_)
+                )
+                proba[start + i] = counts / k
+        return proba

@@ -1,0 +1,36 @@
+"""PyMatcher pipelines: workflow capture, production execution, guides."""
+
+from repro.pipeline.guide import (
+    DEVELOPMENT_GUIDE,
+    PRODUCTION_GUIDE,
+    Command,
+    GuideStep,
+    command_counts,
+    package_inventory,
+    resolve_command,
+)
+from repro.pipeline.incremental import BatchResult, IncrementalMatcher
+from repro.pipeline.production import (
+    CheckpointedRun,
+    parallel_map_partitions,
+    partition_table,
+)
+from repro.pipeline.workflow import MagellanWorkflow, StepRecord, WorkflowStep
+
+__all__ = [
+    "BatchResult",
+    "CheckpointedRun",
+    "IncrementalMatcher",
+    "Command",
+    "DEVELOPMENT_GUIDE",
+    "GuideStep",
+    "MagellanWorkflow",
+    "PRODUCTION_GUIDE",
+    "StepRecord",
+    "WorkflowStep",
+    "command_counts",
+    "package_inventory",
+    "parallel_map_partitions",
+    "partition_table",
+    "resolve_command",
+]

@@ -1,0 +1,135 @@
+"""Incremental matching: coping with new data in production.
+
+Section 6 names "coping with new data" among the challenges of deployed
+ML-based EM.  A production EM pipeline receives table B in batches (new
+vendors, new transactions); re-matching all of A x B per batch wastes the
+work already done.  :class:`IncrementalMatcher` freezes the development
+stage's outputs — blocker, feature table, trained matcher — and applies
+them to each new batch of right-table rows, maintaining the cumulative
+match set and, optionally, a one-to-one constraint against the matches
+already committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.blocking.base import Blocker
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.features.extraction import extract_feature_vecs
+from repro.features.feature import FeatureTable
+from repro.postprocess.clustering import enforce_one_to_one
+from repro.table.table import Table
+
+Pair = tuple[Any, Any]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of matching one batch of new rows."""
+
+    batch_size: int
+    candidate_pairs: int
+    new_matches: set[Pair] = field(default_factory=set)
+    skipped_existing: int = 0  # suppressed by the one-to-one constraint
+
+
+class IncrementalMatcher:
+    """Applies a frozen EM workflow to arriving right-table batches.
+
+    Parameters
+    ----------
+    ltable:
+        The reference table A (assumed stable between batches).
+    blocker, feature_table, matcher:
+        The development stage's outputs; the matcher must be fitted and
+        expose ``predict_proba`` over feature-vector tables.
+    threshold:
+        Match-probability cutoff.
+    one_to_one:
+        When True (default), a left tuple already matched in a previous
+        batch cannot be matched again, and within a batch ties are broken
+        by probability.
+    """
+
+    def __init__(
+        self,
+        ltable: Table,
+        blocker: Blocker,
+        feature_table: FeatureTable,
+        matcher,
+        l_key: str = "id",
+        r_key: str = "id",
+        threshold: float = 0.5,
+        one_to_one: bool = True,
+        catalog: Catalog | None = None,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise ConfigurationError(f"threshold must be in (0, 1), got {threshold}")
+        self.ltable = ltable
+        self.blocker = blocker
+        self.feature_table = feature_table
+        self.matcher = matcher
+        self.l_key = l_key
+        self.r_key = r_key
+        self.threshold = threshold
+        self.one_to_one = one_to_one
+        self.catalog = catalog if catalog is not None else get_catalog()
+        self.catalog.set_key(ltable, l_key)
+        self.matches: set[Pair] = set()
+        self._matched_left: set[Any] = set()
+        self._seen_right: set[Any] = set()
+        self.history: list[BatchResult] = []
+
+    def process_batch(self, new_rows: Table) -> BatchResult:
+        """Match one batch of new right-table rows against A."""
+        new_rows.require_columns([self.r_key])
+        duplicate_keys = self._seen_right & set(new_rows.column(self.r_key))
+        if duplicate_keys:
+            raise SchemaError(
+                f"batch re-uses right keys already processed: "
+                f"{sorted(map(str, duplicate_keys))[:3]}"
+            )
+        self._seen_right.update(new_rows.column(self.r_key))
+
+        candset = self.blocker.block_tables(
+            self.ltable, new_rows, self.l_key, self.r_key, catalog=self.catalog
+        )
+        result = BatchResult(batch_size=new_rows.num_rows, candidate_pairs=candset.num_rows)
+        if candset.num_rows == 0:
+            self.history.append(result)
+            return result
+
+        fv = extract_feature_vecs(candset, self.feature_table, self.catalog)
+        proba = self.matcher.predict_proba(fv)
+        meta = self.catalog.get_candset_metadata(candset)
+        scored = [
+            (l_id, r_id, float(p))
+            for l_id, r_id, p in zip(
+                candset.column(meta.fk_ltable), candset.column(meta.fk_rtable), proba
+            )
+            if p >= self.threshold
+        ]
+        if self.one_to_one:
+            available = [
+                (l_id, r_id, p)
+                for l_id, r_id, p in scored
+                if l_id not in self._matched_left
+            ]
+            result.skipped_existing = len(scored) - len(available)
+            accepted = enforce_one_to_one(available)
+        else:
+            accepted = {(l_id, r_id) for l_id, r_id, _ in scored}
+
+        result.new_matches = accepted
+        self.matches |= accepted
+        self._matched_left.update(l_id for l_id, _ in accepted)
+        self.history.append(result)
+        return result
+
+    @property
+    def total_processed(self) -> int:
+        """Right rows seen across all batches."""
+        return len(self._seen_right)

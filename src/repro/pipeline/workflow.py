@@ -1,0 +1,97 @@
+"""EM workflow capture: the guide's development-stage output.
+
+After the development stage the user has "an accurate EM workflow W,
+captured as a Python script (of a sequence of commands)".
+:class:`MagellanWorkflow` is that script as an object: an ordered list of
+named steps (each an arbitrary callable over a shared artifact store) that
+can be re-executed in production, logged, and timed step by step.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import WorkflowError
+
+logger = logging.getLogger("repro.pipeline")
+
+
+@dataclass
+class StepRecord:
+    """Execution record of one workflow step."""
+
+    name: str
+    seconds: float
+    ok: bool
+    error: str | None = None
+
+
+@dataclass
+class WorkflowStep:
+    """One step: ``fn(artifacts)`` reads/writes the shared artifact dict."""
+
+    name: str
+    fn: Callable[[dict[str, Any]], None]
+    description: str = ""
+
+
+class MagellanWorkflow:
+    """An ordered, re-runnable sequence of EM steps."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps: list[WorkflowStep] = []
+        self.artifacts: dict[str, Any] = {}
+        self.records: list[StepRecord] = []
+
+    def add_step(
+        self,
+        name: str,
+        fn: Callable[[dict[str, Any]], None],
+        description: str = "",
+    ) -> "MagellanWorkflow":
+        """Append a step; returns self for chaining."""
+        if any(step.name == name for step in self.steps):
+            raise WorkflowError(f"duplicate step name {name!r}")
+        self.steps.append(WorkflowStep(name, fn, description))
+        return self
+
+    def run(self, stop_on_error: bool = True) -> dict[str, Any]:
+        """Execute all steps in order; returns the artifact store.
+
+        Each step is timed and logged.  On failure, the error is recorded;
+        with ``stop_on_error`` (default) execution halts and the exception
+        propagates after recording — production runs want the failure
+        loud, not swallowed.
+        """
+        self.records = []
+        for step in self.steps:
+            logger.info("workflow %s: step %s starting", self.name, step.name)
+            started = time.perf_counter()
+            try:
+                step.fn(self.artifacts)
+            except Exception as exc:
+                seconds = time.perf_counter() - started
+                self.records.append(StepRecord(step.name, seconds, False, repr(exc)))
+                logger.exception(
+                    "workflow %s: step %s failed after %.3fs",
+                    self.name,
+                    step.name,
+                    seconds,
+                )
+                if stop_on_error:
+                    raise
+                continue
+            seconds = time.perf_counter() - started
+            self.records.append(StepRecord(step.name, seconds, True))
+            logger.info(
+                "workflow %s: step %s finished in %.3fs", self.name, step.name, seconds
+            )
+        return self.artifacts
+
+    def total_seconds(self) -> float:
+        """Wall time of the last run."""
+        return sum(record.seconds for record in self.records)

@@ -1,0 +1,23 @@
+"""Match post-processing: clustering, 1-1 enforcement, merging, dedup."""
+
+from repro.postprocess.clustering import (
+    cluster_matches,
+    enforce_one_to_one,
+    merge_matches,
+    merge_records,
+)
+from repro.postprocess.dedupe import (
+    dedupe_table,
+    duplicate_groups,
+    self_block_table,
+)
+
+__all__ = [
+    "cluster_matches",
+    "dedupe_table",
+    "duplicate_groups",
+    "enforce_one_to_one",
+    "merge_matches",
+    "merge_records",
+    "self_block_table",
+]

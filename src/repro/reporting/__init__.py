@@ -1,0 +1,19 @@
+"""Markdown reports of EM runs (the profiling/browsing service)."""
+
+from repro.reporting.report import (
+    accuracy_section,
+    blocking_section,
+    em_run_report,
+    matcher_section,
+    profile_section,
+    render_markdown_table,
+)
+
+__all__ = [
+    "accuracy_section",
+    "blocking_section",
+    "em_run_report",
+    "matcher_section",
+    "profile_section",
+    "render_markdown_table",
+]

@@ -1,0 +1,139 @@
+"""EM run reports: the envisioned ecosystem's profiling/browsing service.
+
+Figure 6 sketches services for "data cleaning, profiling, browsing, etc.
+for EM".  This module renders human-readable (markdown) reports of the
+artifacts an EM run produces — dataset profiles, blocking summaries,
+matcher leaderboards, the final accuracy — so the "conversation between
+the EM team and the domain expert team" (§1) has something concrete to
+look at between iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cleaning.detectors import detect_generic_values, profile_missingness
+from repro.table.schema import infer_schema
+from repro.table.table import Table
+
+
+def render_markdown_table(rows: list[dict[str, Any]]) -> str:
+    """Render row dicts as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "*(empty)*"
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def profile_section(name: str, table: Table) -> str:
+    """Markdown profile of one table: schema, missingness, generic values."""
+    schema = infer_schema(table)
+    missing = profile_missingness(table)
+    rows = []
+    for column in table.columns:
+        generic = detect_generic_values(table, column, distinctiveness=0.05)
+        rows.append(
+            {
+                "column": column,
+                "type": schema[column].value,
+                "missing": f"{missing[column]:.1%}",
+                "generic values": ", ".join(map(str, generic.generic_values[:3])) or "-",
+            }
+        )
+    return (
+        f"## Profile: {name}\n\n"
+        f"{table.num_rows} rows, {len(table.columns)} columns\n\n"
+        + render_markdown_table(rows)
+    )
+
+
+def blocking_section(
+    candset: Table,
+    cross_product: int,
+    recall: float | None = None,
+) -> str:
+    """Markdown summary of a blocking result."""
+    reduction = 1.0 - candset.num_rows / cross_product if cross_product else 0.0
+    lines = [
+        "## Blocking",
+        "",
+        f"- candidate pairs: **{candset.num_rows}** "
+        f"(of {cross_product} possible; {reduction:.2%} pruned)",
+    ]
+    if recall is not None:
+        lines.append(f"- blocking recall (vs gold): **{recall:.3f}**")
+    return "\n".join(lines)
+
+
+def matcher_section(selection) -> str:
+    """Markdown leaderboard from a :class:`SelectionResult`."""
+    rows = []
+    for row in selection.scores.rows():
+        rows.append(
+            {
+                "matcher": row["matcher"],
+                "precision": f"{row['precision']:.3f}",
+                "recall": f"{row['recall']:.3f}",
+                "f1": f"{row['f1']:.3f}",
+            }
+        )
+    return (
+        "## Matcher selection (cross-validated)\n\n"
+        + render_markdown_table(rows)
+        + f"\n\nSelected: **{selection.best_matcher.name}** "
+          f"({selection.metric} = {selection.best_score:.3f})"
+    )
+
+
+def accuracy_section(report: dict[str, Any]) -> str:
+    """Markdown summary of an ``eval_matches`` report."""
+    lines = [
+        "## Accuracy",
+        "",
+        f"- precision: **{report['precision']:.3f}**",
+        f"- recall: **{report['recall']:.3f}**",
+        f"- F1: **{report['f1']:.3f}**",
+        f"- false positives: {len(report['false_positives'])}",
+        f"- false negatives: {len(report['false_negatives'])}",
+    ]
+    return "\n".join(lines)
+
+
+def em_run_report(
+    title: str,
+    ltable: Table,
+    rtable: Table,
+    candset: Table | None = None,
+    blocking_recall: float | None = None,
+    selection=None,
+    accuracy: dict[str, Any] | None = None,
+    notes: list[str] = (),
+) -> str:
+    """Assemble a full markdown report of one EM run.
+
+    Every section is optional except the dataset profiles, so the report
+    grows with the run: profile-only early in the conversation, full
+    pipeline once a workflow exists.
+    """
+    sections = [f"# EM run report: {title}"]
+    sections.append(profile_section("table A", ltable))
+    sections.append(profile_section("table B", rtable))
+    if candset is not None:
+        sections.append(
+            blocking_section(
+                candset, ltable.num_rows * rtable.num_rows, blocking_recall
+            )
+        )
+    if selection is not None:
+        sections.append(matcher_section(selection))
+    if accuracy is not None:
+        sections.append(accuracy_section(accuracy))
+    if notes:
+        sections.append("## Notes\n\n" + "\n".join(f"- {note}" for note in notes))
+    return "\n\n".join(sections) + "\n"

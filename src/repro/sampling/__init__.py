@@ -1,0 +1,15 @@
+"""Sampling tools: intelligent down-sampling and candidate-set sampling."""
+
+from repro.sampling.down_sample import (
+    down_sample,
+    naive_down_sample,
+    sample_candset,
+    weighted_sample_candset,
+)
+
+__all__ = [
+    "down_sample",
+    "naive_down_sample",
+    "sample_candset",
+    "weighted_sample_candset",
+]

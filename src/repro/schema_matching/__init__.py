@@ -1,0 +1,19 @@
+"""Schema matching: attribute-correspondence discovery between tables."""
+
+from repro.schema_matching.matcher import (
+    Correspondence,
+    match_schemas,
+    name_similarity,
+    suggest_attr_corres,
+    types_compatible,
+    value_similarity,
+)
+
+__all__ = [
+    "Correspondence",
+    "match_schemas",
+    "name_similarity",
+    "suggest_attr_corres",
+    "types_compatible",
+    "value_similarity",
+]

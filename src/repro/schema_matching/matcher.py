@@ -1,0 +1,159 @@
+"""Schema matching: the Magellan template applied to a sibling DI task.
+
+Section 7: "we plan to apply the Magellan system building template to
+other data integration problems, such as schema matching".  This package
+is that extension in miniature — an interoperable tool that proposes
+attribute correspondences between two tables whose columns are named
+differently, combining:
+
+* **name similarity** — Jaro-Winkler over normalized column names;
+* **value-distribution similarity** — Jaccard overlap of the columns'
+  token sets, so ``addr`` still matches ``street_address`` when their
+  contents agree;
+* **type compatibility** — inferred column types must not conflict.
+
+The output plugs straight into feature generation:
+:func:`suggest_attr_corres` returns the ``attr_corres`` list that
+:func:`repro.features.get_features_for_matching` accepts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.postprocess.clustering import enforce_one_to_one
+from repro.table.schema import ColumnType, infer_column_type, is_missing
+from repro.table.table import Table
+from repro.text.sim.edit_based import JaroWinkler
+from repro.text.tokenizers import WhitespaceTokenizer
+
+_NUMERICISH = {ColumnType.NUMERIC, ColumnType.BOOLEAN}
+
+
+def _normalize_name(name: str) -> str:
+    """Lowercase and split camelCase/snake_case into space-joined words."""
+    name = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", name)
+    name = re.sub(r"[_\-\.]+", " ", name)
+    return " ".join(name.lower().split())
+
+
+def _column_tokens(table: Table, column: str, limit: int = 500) -> set[str]:
+    tokenizer = WhitespaceTokenizer(return_set=True)
+    tokens: set[str] = set()
+    for value in table.column(column)[:limit]:
+        if not is_missing(value):
+            tokens.update(t.lower() for t in tokenizer.tokenize(str(value)))
+    return tokens
+
+
+def name_similarity(left: str, right: str) -> float:
+    """Similarity of two column names.
+
+    The max of Jaro-Winkler over the normalized names (catches typos and
+    shared prefixes) and the overlap coefficient over their words (catches
+    containment like ``full_name`` vs ``name``, where character-level
+    measures fail).
+    """
+    left_norm = _normalize_name(left)
+    right_norm = _normalize_name(right)
+    character_level = JaroWinkler().get_raw_score(left_norm, right_norm)
+    left_words = set(left_norm.split())
+    right_words = set(right_norm.split())
+    if left_words and right_words:
+        word_level = len(left_words & right_words) / min(
+            len(left_words), len(right_words)
+        )
+    else:
+        word_level = 0.0
+    return max(character_level, word_level)
+
+
+def value_similarity(
+    ltable: Table, l_column: str, rtable: Table, r_column: str
+) -> float:
+    """Jaccard overlap of the two columns' value-token sets."""
+    left = _column_tokens(ltable, l_column)
+    right = _column_tokens(rtable, r_column)
+    if not left and not right:
+        return 0.0
+    union = len(left | right)
+    return len(left & right) / union if union else 0.0
+
+
+def types_compatible(left: ColumnType, right: ColumnType) -> bool:
+    """Numeric-ish columns only pair with numeric-ish columns."""
+    if ColumnType.UNKNOWN in (left, right):
+        return True
+    return (left in _NUMERICISH) == (right in _NUMERICISH)
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """One proposed attribute correspondence."""
+
+    l_column: str
+    r_column: str
+    score: float
+    name_score: float
+    value_score: float
+
+
+def match_schemas(
+    ltable: Table,
+    rtable: Table,
+    l_key: str = "id",
+    r_key: str = "id",
+    name_weight: float = 0.5,
+    threshold: float = 0.5,
+) -> list[Correspondence]:
+    """Propose a one-to-one attribute correspondence between two tables.
+
+    Every non-key column pair is scored
+    ``name_weight * name_sim + (1 - name_weight) * value_sim`` (type-
+    incompatible pairs score 0); a greedy one-to-one assignment keeps the
+    best pairs above ``threshold``, highest score first.
+    """
+    if not 0.0 <= name_weight <= 1.0:
+        raise ConfigurationError(f"name_weight must be in [0, 1], got {name_weight}")
+    l_columns = [c for c in ltable.columns if c != l_key]
+    r_columns = [c for c in rtable.columns if c != r_key]
+    l_types = {c: infer_column_type(ltable.column(c)) for c in l_columns}
+    r_types = {c: infer_column_type(rtable.column(c)) for c in r_columns}
+
+    scored: list[tuple[str, str, float]] = []
+    details: dict[tuple[str, str], tuple[float, float]] = {}
+    for l_column in l_columns:
+        for r_column in r_columns:
+            if not types_compatible(l_types[l_column], r_types[r_column]):
+                continue
+            n_score = name_similarity(l_column, r_column)
+            v_score = value_similarity(ltable, l_column, rtable, r_column)
+            score = name_weight * n_score + (1.0 - name_weight) * v_score
+            if score >= threshold:
+                scored.append((l_column, r_column, score))
+                details[(l_column, r_column)] = (n_score, v_score)
+
+    kept = enforce_one_to_one(scored)
+    result = [
+        Correspondence(l, r, score, *details[(l, r)])
+        for l, r, score in scored
+        if (l, r) in kept
+    ]
+    result.sort(key=lambda c: -c.score)
+    return result
+
+
+def suggest_attr_corres(
+    ltable: Table,
+    rtable: Table,
+    l_key: str = "id",
+    r_key: str = "id",
+    threshold: float = 0.5,
+) -> list[tuple[str, str]]:
+    """The ``attr_corres`` list for feature generation, from schema matching."""
+    return [
+        (c.l_column, c.r_column)
+        for c in match_schemas(ltable, rtable, l_key, r_key, threshold=threshold)
+    ]

@@ -1,0 +1,231 @@
+"""Set-similarity and edit-distance joins over tables.
+
+The join algorithms follow the standard filter-verify design: tokenize,
+apply the size filter, generate candidates through a prefix-filter inverted
+index, and verify each candidate exactly.  ``naive_set_sim_join`` computes
+the same result by brute force and exists as the benchmark baseline that
+motivates this package (py_stringsimjoin in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.exceptions import ConfigurationError
+from repro.simjoin.filters import (
+    TokenOrder,
+    overlap_lower_bound,
+    prefix_length,
+    similarity,
+    size_bounds,
+    validate_measure,
+)
+from repro.table.schema import is_missing
+from repro.table.table import Table
+from repro.text.sim.edit_based import Levenshtein
+from repro.text.tokenizers import QgramTokenizer, Tokenizer
+
+_OUTPUT_COLUMNS = ("_id", "l_id", "r_id", "score")
+
+
+def _tokenize_column(table: Table, key: str, column: str, tokenizer: Tokenizer):
+    """Yield (key, token_set) for each row with a non-missing value."""
+    table.require_columns([key, column])
+    keys = table.column(key)
+    values = table.column(column)
+    for row_key, value in zip(keys, values):
+        if is_missing(value):
+            continue
+        yield row_key, set(tokenizer.tokenize(str(value)))
+
+
+def _result_table(rows: list[tuple]) -> Table:
+    table = Table.from_rows(
+        (
+            {"_id": i, "l_id": l_id, "r_id": r_id, "score": score}
+            for i, (l_id, r_id, score) in enumerate(rows)
+        ),
+        columns=list(_OUTPUT_COLUMNS),
+    )
+    if table.num_rows == 0:
+        table = Table({name: [] for name in _OUTPUT_COLUMNS})
+    return table
+
+
+def set_sim_join(
+    ltable: Table,
+    rtable: Table,
+    l_key: str,
+    r_key: str,
+    l_column: str,
+    r_column: str,
+    tokenizer: Tokenizer,
+    measure: str = "jaccard",
+    threshold: float = 0.7,
+    use_prefix_filter: bool = True,
+) -> Table:
+    """Join two tables on set similarity of a tokenized string column.
+
+    Returns a table with columns ``(_id, l_id, r_id, score)`` holding every
+    pair whose similarity is at least ``threshold``.
+
+    Parameters mirror py_stringsimjoin: the key columns identify rows, the
+    join columns are tokenized with ``tokenizer``, and ``measure`` is one of
+    ``jaccard``, ``cosine``, ``dice``, or ``overlap`` (absolute threshold).
+    """
+    measure = validate_measure(measure)
+    if measure != "overlap" and not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold for {measure} must be in (0, 1], got {threshold}"
+        )
+    if measure == "overlap" and threshold < 1:
+        raise ConfigurationError(f"overlap threshold must be >= 1, got {threshold}")
+
+    left_records = list(_tokenize_column(ltable, l_key, l_column, tokenizer))
+    right_records = list(_tokenize_column(rtable, r_key, r_column, tokenizer))
+    order = TokenOrder([tokens for _, tokens in left_records + right_records])
+
+    # Index the right side: token -> [(row position, set size)].
+    right_sets = [tokens for _, tokens in right_records]
+    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for position, tokens in enumerate(right_sets):
+        ordered = order.order(tokens)
+        prefix = (
+            ordered[: prefix_length(measure, threshold, len(ordered))]
+            if use_prefix_filter
+            else ordered
+        )
+        for token in prefix:
+            index[token].append((position, len(tokens)))
+
+    results: list[tuple] = []
+    for l_id, left_tokens in left_records:
+        if not left_tokens:
+            continue
+        lower, upper = size_bounds(measure, threshold, len(left_tokens))
+        ordered = order.order(left_tokens)
+        probe = (
+            ordered[: prefix_length(measure, threshold, len(ordered))]
+            if use_prefix_filter
+            else ordered
+        )
+        candidates: set[int] = set()
+        for token in probe:
+            for position, size in index.get(token, ()):
+                if lower <= size <= upper:
+                    candidates.add(position)
+        for position in candidates:
+            right_tokens = right_sets[position]
+            needed = overlap_lower_bound(
+                measure, threshold, len(left_tokens), len(right_tokens)
+            )
+            if len(left_tokens & right_tokens) < needed:
+                continue
+            score = similarity(measure, left_tokens, right_tokens)
+            if score >= threshold:
+                results.append((l_id, right_records[position][0], score))
+    return _result_table(results)
+
+
+def naive_set_sim_join(
+    ltable: Table,
+    rtable: Table,
+    l_key: str,
+    r_key: str,
+    l_column: str,
+    r_column: str,
+    tokenizer: Tokenizer,
+    measure: str = "jaccard",
+    threshold: float = 0.7,
+) -> Table:
+    """Brute-force O(n*m) reference implementation of :func:`set_sim_join`."""
+    measure = validate_measure(measure)
+    left_records = list(_tokenize_column(ltable, l_key, l_column, tokenizer))
+    right_records = list(_tokenize_column(rtable, r_key, r_column, tokenizer))
+    results = []
+    for l_id, left_tokens in left_records:
+        for r_id, right_tokens in right_records:
+            score = similarity(measure, left_tokens, right_tokens)
+            if score >= threshold:
+                results.append((l_id, r_id, score))
+    return _result_table(results)
+
+
+def edit_distance_join(
+    ltable: Table,
+    rtable: Table,
+    l_key: str,
+    r_key: str,
+    l_column: str,
+    r_column: str,
+    threshold: int = 2,
+    q: int = 2,
+) -> Table:
+    """Join rows whose string values are within edit distance ``threshold``.
+
+    Candidate generation uses the classic q-gram count filter: strings
+    within edit distance d share at least
+    ``max(|x|, |y|) - q + 1 - q * d`` (positional-free) q-grams, plus the
+    length filter ``||x| - |y|| <= d``.  Survivors are verified with exact
+    Levenshtein distance; the output ``score`` column holds the distance.
+    """
+    if threshold < 0:
+        raise ConfigurationError(f"edit-distance threshold must be >= 0, got {threshold}")
+    tokenizer = QgramTokenizer(q=q, padding=False)
+    levenshtein = Levenshtein()
+
+    def qgram_bag(value: str) -> list[str]:
+        return tokenizer.tokenize(value)
+
+    ltable.require_columns([l_key, l_column])
+    rtable.require_columns([r_key, r_column])
+    left_records = [
+        (k, str(v))
+        for k, v in zip(ltable.column(l_key), ltable.column(l_column))
+        if not is_missing(v)
+    ]
+    right_records = [
+        (k, str(v))
+        for k, v in zip(rtable.column(r_key), rtable.column(r_column))
+        if not is_missing(v)
+    ]
+
+    # The classic count filter bounds the *bag* overlap of q-grams, so the
+    # index records per-record gram multiplicities and probing accumulates
+    # min(left count, right count) per gram.
+    from collections import Counter
+
+    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for position, (_, value) in enumerate(right_records):
+        for gram, count in Counter(qgram_bag(value)).items():
+            index[gram].append((position, count))
+    # When max(|x|, |y|) <= q - 1 + q*d the count filter requires zero
+    # shared q-grams, so short pairs are candidates even with no shared
+    # gram and cannot be reached through the inverted index.
+    vacuous_bound = q - 1 + q * threshold
+    short_right = [
+        position
+        for position, (_, value) in enumerate(right_records)
+        if len(value) <= vacuous_bound
+    ]
+
+    results = []
+    for l_id, left_value in left_records:
+        counts: dict[int, int] = defaultdict(int)
+        for gram, left_count in Counter(qgram_bag(left_value)).items():
+            for position, right_count in index.get(gram, ()):
+                counts[position] += min(left_count, right_count)
+        candidates = set(counts)
+        if len(left_value) <= vacuous_bound:
+            candidates.update(short_right)
+        for position in candidates:
+            r_id, right_value = right_records[position]
+            if abs(len(left_value) - len(right_value)) > threshold:
+                continue
+            required = max(len(left_value), len(right_value)) - q + 1 - q * threshold
+            if required > 0 and counts.get(position, 0) < required:
+                continue
+            distance = levenshtein.get_raw_score(left_value, right_value)
+            if distance <= threshold:
+                results.append((l_id, r_id, distance))
+    return _result_table(results)

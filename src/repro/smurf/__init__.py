@@ -1,0 +1,5 @@
+"""Smurf: self-service string matching with label-free blocking."""
+
+from repro.smurf.smurf import SmurfConfig, SmurfResult, run_smurf
+
+__all__ = ["SmurfConfig", "SmurfResult", "run_smurf"]

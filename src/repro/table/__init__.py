@@ -1,0 +1,35 @@
+"""Table substrate: a lightweight column-oriented relational table.
+
+This package is the ecosystem's stand-in for pandas: a generic tabular
+data structure shared by every tool, with all EM metadata kept outside of
+it (in :mod:`repro.catalog`).
+"""
+
+from repro.table.io import (
+    read_csv,
+    read_csv_metadata,
+    write_csv,
+    write_csv_metadata,
+)
+from repro.table.schema import (
+    ColumnType,
+    infer_column_type,
+    infer_schema,
+    infer_value_type,
+    is_missing,
+)
+from repro.table.table import Row, Table
+
+__all__ = [
+    "ColumnType",
+    "Row",
+    "Table",
+    "infer_column_type",
+    "infer_schema",
+    "infer_value_type",
+    "is_missing",
+    "read_csv",
+    "read_csv_metadata",
+    "write_csv",
+    "write_csv_metadata",
+]

@@ -1,0 +1,112 @@
+"""CSV input/output for tables, with an optional metadata sidecar.
+
+Mirrors PyMatcher's ``read_csv_metadata`` / ``to_csv_metadata``: the table
+itself is a plain CSV file (readable by any tool — interoperability), while
+EM metadata (key, foreign keys) is stored in a small sidecar file and loaded
+into the :mod:`repro.catalog` on read.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.catalog import catalog as _catalog_module
+from repro.table.table import Table
+
+_SIDECAR_SUFFIX = ".metadata.json"
+
+
+def _parse_cell(text: str) -> Any:
+    """Parse a CSV cell: '' -> None, then int, then float, else str.
+
+    Leading-zero digit strings (ZIP codes, product codes) stay strings —
+    parsing '01234' as 1234 would silently corrupt identifiers.
+    """
+    if text == "":
+        return None
+    stripped = text.lstrip("+-")
+    if len(stripped) > 1 and stripped[0] == "0" and stripped.isdigit():
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _render_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    return str(value)
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a CSV file (with header row) into a :class:`Table`."""
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table()
+        data: dict[str, list[Any]] = {name: [] for name in header}
+        for record in reader:
+            for name, cell in zip(header, record):
+                data[name].append(_parse_cell(cell))
+    return Table(data)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.rows():
+            writer.writerow([_render_cell(row[name]) for name in table.columns])
+
+
+def read_csv_metadata(
+    path: str | Path,
+    key: str | None = None,
+    catalog: "_catalog_module.Catalog | None" = None,
+) -> Table:
+    """Read a CSV file and register its metadata in the catalog.
+
+    Metadata comes from, in priority order: the ``key`` argument, then the
+    sidecar file ``<path>.metadata.json`` if present.  The key is validated
+    before registration — a self-containment check.
+    """
+    table = read_csv(path)
+    cat = catalog if catalog is not None else _catalog_module.get_catalog()
+    sidecar = Path(str(path) + _SIDECAR_SUFFIX)
+    if key is None and sidecar.exists():
+        meta = json.loads(sidecar.read_text(encoding="utf-8"))
+        key = meta.get("key")
+    if key is not None:
+        cat.set_key(table, key)
+    return table
+
+
+def write_csv_metadata(
+    table: Table,
+    path: str | Path,
+    catalog: "_catalog_module.Catalog | None" = None,
+) -> None:
+    """Write a table to CSV and its catalog metadata to a sidecar file."""
+    write_csv(table, path)
+    cat = catalog if catalog is not None else _catalog_module.get_catalog()
+    meta: dict[str, Any] = {}
+    key = cat.get_key(table, default=None)
+    if key is not None:
+        meta["key"] = key
+    if meta:
+        sidecar = Path(str(path) + _SIDECAR_SUFFIX)
+        sidecar.write_text(json.dumps(meta, indent=2), encoding="utf-8")

@@ -1,0 +1,28 @@
+"""String matching: tokenizers and similarity measures.
+
+This package is the reproduction's ``py_stringmatching``: a self-contained
+library of tokenizers and string similarity measures used by blocking,
+feature generation, sim joins, and the matchers — and usable entirely on
+its own, outside EM (the paper notes py_stringmatching ended up installed
+on Kaggle for general data-science use).
+"""
+
+from repro.text import sim
+from repro.text.tokenizers import (
+    AlphabeticTokenizer,
+    AlphanumericTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    Tokenizer,
+    WhitespaceTokenizer,
+)
+
+__all__ = [
+    "AlphabeticTokenizer",
+    "AlphanumericTokenizer",
+    "DelimiterTokenizer",
+    "QgramTokenizer",
+    "Tokenizer",
+    "WhitespaceTokenizer",
+    "sim",
+]

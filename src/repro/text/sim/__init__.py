@@ -1,0 +1,52 @@
+"""Similarity measures: edit-based, token-based, hybrid, phonetic, generic."""
+
+from repro.text.sim.edit_based import (
+    Affine,
+    Hamming,
+    Jaro,
+    JaroWinkler,
+    Levenshtein,
+    NeedlemanWunsch,
+    SmithWaterman,
+)
+from repro.text.sim.extras import BagDistance, Editex, RatcliffObershelp
+from repro.text.sim.generic import abs_norm, exact_match, rel_diff
+from repro.text.sim.hybrid import GeneralizedJaccard, MongeElkan, SoftTfIdf
+from repro.text.sim.phonetic import Soundex, soundex_code
+from repro.text.sim.token_based import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    OverlapCoefficient,
+    TfIdf,
+    TverskyIndex,
+)
+
+__all__ = [
+    "Affine",
+    "BagDistance",
+    "Editex",
+    "RatcliffObershelp",
+    "Cosine",
+    "Dice",
+    "GeneralizedJaccard",
+    "Hamming",
+    "Jaccard",
+    "Jaro",
+    "JaroWinkler",
+    "Levenshtein",
+    "MongeElkan",
+    "NeedlemanWunsch",
+    "Overlap",
+    "OverlapCoefficient",
+    "SmithWaterman",
+    "SoftTfIdf",
+    "Soundex",
+    "TfIdf",
+    "TverskyIndex",
+    "abs_norm",
+    "exact_match",
+    "rel_diff",
+    "soundex_code",
+]

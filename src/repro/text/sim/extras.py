@@ -1,0 +1,149 @@
+"""Additional similarity measures from the py_stringmatching catalogue.
+
+* :class:`BagDistance` — a cheap lower bound on Levenshtein distance via
+  multiset differences; useful as a pre-filter.
+* :class:`Editex` — phonetics-aware edit distance (Zobel & Dart):
+  substitutions between letters in the same phonetic group are cheap.
+* :class:`RatcliffObershelp` — the "gestalt pattern matching" similarity
+  (difflib's algorithm), built on recursive longest common substrings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+_EDITEX_GROUPS = (
+    "aeiouy",  # vowels
+    "bp",
+    "ckq",
+    "dt",
+    "lr",
+    "mn",
+    "gj",
+    "fpv",
+    "sxz",
+    "csz",
+)
+
+
+def _editex_cost(a: str, b: str) -> int:
+    """0 identical, 1 same phonetic group, 2 otherwise."""
+    if a == b:
+        return 0
+    for group in _EDITEX_GROUPS:
+        if a in group and b in group:
+            return 1
+    return 2
+
+
+class BagDistance:
+    """Bag distance: max of the two one-sided multiset differences.
+
+    Always <= Levenshtein distance, computable in linear time — the
+    classic cheap filter before exact edit distance.
+    """
+
+    def get_raw_score(self, left: str, right: str) -> int:
+        """The bag distance between two strings."""
+        left_counts = Counter(left)
+        right_counts = Counter(right)
+        only_left = sum((left_counts - right_counts).values())
+        only_right = sum((right_counts - left_counts).values())
+        return max(only_left, only_right)
+
+    def get_sim_score(self, left: str, right: str) -> float:
+        """1 - distance / max length (1.0 for two empty strings)."""
+        longest = max(len(left), len(right))
+        if longest == 0:
+            return 1.0
+        return 1.0 - self.get_raw_score(left, right) / longest
+
+
+class Editex:
+    """Editex distance (Zobel & Dart 1996), lowercased.
+
+    Dynamic program like Levenshtein, but substitution cost honours
+    phonetic groups and insert/delete costs depend on the letter dropped
+    (cheaper inside a phonetic run, e.g. silent doubling).
+    """
+
+    def _del_cost(self, prev: str, current: str) -> int:
+        if prev == current:
+            return 1
+        return 1 if _editex_cost(prev, current) < 2 else 2
+
+    def get_raw_score(self, left: str, right: str) -> int:
+        """The Editex distance between two strings."""
+        left = left.lower()
+        right = right.lower()
+        if left == right:
+            return 0
+        if not left:
+            return 2 * len(right)
+        if not right:
+            return 2 * len(left)
+        rows = len(left) + 1
+        cols = len(right) + 1
+        table = [[0] * cols for _ in range(rows)]
+        for i in range(1, rows):
+            prev = left[i - 2] if i > 1 else left[0]
+            table[i][0] = table[i - 1][0] + self._del_cost(prev, left[i - 1])
+        for j in range(1, cols):
+            prev = right[j - 2] if j > 1 else right[0]
+            table[0][j] = table[0][j - 1] + self._del_cost(prev, right[j - 1])
+        for i in range(1, rows):
+            for j in range(1, cols):
+                del_left = table[i - 1][j] + self._del_cost(
+                    left[i - 2] if i > 1 else left[0], left[i - 1]
+                )
+                del_right = table[i][j - 1] + self._del_cost(
+                    right[j - 2] if j > 1 else right[0], right[j - 1]
+                )
+                substitute = table[i - 1][j - 1] + _editex_cost(
+                    left[i - 1], right[j - 1]
+                )
+                table[i][j] = min(del_left, del_right, substitute)
+        return table[-1][-1]
+
+    def get_sim_score(self, left: str, right: str) -> float:
+        """1 - distance / (2 * max length), in [0, 1]."""
+        longest = max(len(left), len(right))
+        if longest == 0:
+            return 1.0
+        return 1.0 - self.get_raw_score(left, right) / (2.0 * longest)
+
+
+class RatcliffObershelp:
+    """Gestalt pattern matching: 2*|matched| / (|left| + |right|)."""
+
+    def _matches(self, left: str, right: str) -> int:
+        if not left or not right:
+            return 0
+        best_len = best_i = best_j = 0
+        # longest common substring via DP row sweep
+        previous = [0] * (len(right) + 1)
+        for i, ch in enumerate(left, start=1):
+            current = [0] * (len(right) + 1)
+            for j, other in enumerate(right, start=1):
+                if ch == other:
+                    current[j] = previous[j - 1] + 1
+                    if current[j] > best_len:
+                        best_len = current[j]
+                        best_i, best_j = i, j
+            previous = current
+        if best_len == 0:
+            return 0
+        return (
+            best_len
+            + self._matches(left[: best_i - best_len], right[: best_j - best_len])
+            + self._matches(left[best_i:], right[best_j:])
+        )
+
+    def get_raw_score(self, left: str, right: str) -> float:
+        """Similarity in [0, 1]; 1.0 for two empty strings."""
+        total = len(left) + len(right)
+        if total == 0:
+            return 1.0
+        return 2.0 * self._matches(left, right) / total
+
+    get_sim_score = get_raw_score

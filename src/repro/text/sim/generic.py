@@ -1,0 +1,59 @@
+"""Generic value-level similarity helpers used by feature generation.
+
+These mirror Magellan's built-in feature functions for non-string
+attributes: exact match, absolute-difference norm, and relative difference.
+All handle missing values by returning ``float('nan')``, which feature
+extraction later imputes; downstream learners never see NaN.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.table.schema import is_missing
+
+NAN = float("nan")
+
+
+def exact_match(left: Any, right: Any) -> float:
+    """1.0 when values are equal, 0.0 otherwise; NaN when either missing."""
+    if is_missing(left) or is_missing(right):
+        return NAN
+    return 1.0 if left == right else 0.0
+
+
+def abs_norm(left: Any, right: Any) -> float:
+    """1 - |l - r| / max(|l|, |r|) for numeric values, in [0, 1]."""
+    if is_missing(left) or is_missing(right):
+        return NAN
+    try:
+        left_value = float(left)
+        right_value = float(right)
+    except (TypeError, ValueError):
+        return NAN
+    scale = max(abs(left_value), abs(right_value))
+    if scale == 0.0:
+        return 1.0
+    score = 1.0 - abs(left_value - right_value) / scale
+    return max(score, 0.0)
+
+
+def rel_diff(left: Any, right: Any) -> float:
+    """Relative difference |l - r| / ((|l| + |r|) / 2); 0 means equal."""
+    if is_missing(left) or is_missing(right):
+        return NAN
+    try:
+        left_value = float(left)
+        right_value = float(right)
+    except (TypeError, ValueError):
+        return NAN
+    scale = (abs(left_value) + abs(right_value)) / 2.0
+    if scale == 0.0:
+        return 0.0
+    return abs(left_value - right_value) / scale
+
+
+def is_nan(value: float) -> bool:
+    """True if ``value`` is a float NaN."""
+    return isinstance(value, float) and math.isnan(value)

@@ -1,0 +1,120 @@
+"""Hybrid similarity measures: token-level structure, character-level cores.
+
+These combine a secondary character-level measure (e.g. Jaro-Winkler) with
+token-set comparison, which is what makes them robust to both word
+reordering and per-word typos — the sweet spot for names and addresses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.text.sim.edit_based import JaroWinkler
+
+
+class MongeElkan:
+    """Average best-match score of each left token against right tokens."""
+
+    def __init__(self, sim_func=None):
+        self.sim_func = sim_func or JaroWinkler().get_raw_score
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = list(left), list(right)
+        if not left and not right:
+            return 1.0
+        if not left or not right:
+            return 0.0
+        total = 0.0
+        for token_left in left:
+            total += max(self.sim_func(token_left, token_right) for token_right in right)
+        return total / len(left)
+
+
+class GeneralizedJaccard:
+    """Jaccard over a soft token matching.
+
+    Tokens from the two sides are greedily matched when their secondary
+    similarity exceeds ``threshold``; matched pairs contribute their
+    similarity to the intersection weight.
+    """
+
+    def __init__(self, sim_func=None, threshold: float = 0.5):
+        self.sim_func = sim_func or JaroWinkler().get_raw_score
+        self.threshold = threshold
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = list(set(left)), list(set(right))
+        if not left and not right:
+            return 1.0
+        if not left or not right:
+            return 0.0
+        candidate_pairs = []
+        for i, token_left in enumerate(left):
+            for j, token_right in enumerate(right):
+                score = self.sim_func(token_left, token_right)
+                if score >= self.threshold:
+                    candidate_pairs.append((score, i, j))
+        candidate_pairs.sort(reverse=True)
+        used_left: set[int] = set()
+        used_right: set[int] = set()
+        intersection_weight = 0.0
+        matched = 0
+        for score, i, j in candidate_pairs:
+            if i in used_left or j in used_right:
+                continue
+            used_left.add(i)
+            used_right.add(j)
+            intersection_weight += score
+            matched += 1
+        union_size = len(left) + len(right) - matched
+        return intersection_weight / union_size if union_size else 1.0
+
+    get_sim_score = get_raw_score
+
+
+class SoftTfIdf:
+    """TF-IDF cosine where 'equal tokens' is relaxed to 'similar tokens'.
+
+    Left tokens are paired with their most similar right token when the
+    secondary similarity is at least ``threshold``; the pair contributes
+    ``weight_left * weight_right * similarity`` to the dot product.
+    """
+
+    def __init__(
+        self,
+        corpus: list[list[str]] | None = None,
+        sim_func=None,
+        threshold: float = 0.5,
+    ):
+        from repro.text.sim.token_based import TfIdf
+
+        self._tfidf = TfIdf(corpus)
+        self.sim_func = sim_func or JaroWinkler().get_raw_score
+        self.threshold = threshold
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        import math
+
+        left, right = list(left), list(right)
+        if not left and not right:
+            return 1.0
+        if not left or not right:
+            return 0.0
+        w_left = self._tfidf._weights(left)
+        w_right = self._tfidf._weights(right)
+        dot = 0.0
+        for token_left, weight_left in w_left.items():
+            best_score, best_token = 0.0, None
+            for token_right in w_right:
+                score = self.sim_func(token_left, token_right)
+                if score > best_score:
+                    best_score, best_token = score, token_right
+            if best_token is not None and best_score >= self.threshold:
+                dot += weight_left * w_right[best_token] * best_score
+        norm_left = math.sqrt(sum(w * w for w in w_left.values()))
+        norm_right = math.sqrt(sum(w * w for w in w_right.values()))
+        if norm_left == 0.0 or norm_right == 0.0:
+            return 0.0
+        return min(dot / (norm_left * norm_right), 1.0)
+
+    get_sim_score = get_raw_score

@@ -1,0 +1,50 @@
+"""Phonetic similarity measures."""
+
+from __future__ import annotations
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+# h and w are transparent (a repeated code across them still merges);
+# vowels break code runs but emit nothing.
+_TRANSPARENT = set("hw")
+
+
+def soundex_code(word: str) -> str:
+    """American Soundex code of a word (e.g. 'Robert' -> 'R163').
+
+    Returns '' for input with no alphabetic characters.
+    """
+    letters = [ch for ch in word.lower() if ch.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first)
+    for ch in letters[1:]:
+        digit = _SOUNDEX_CODES.get(ch)
+        if digit is not None:
+            if digit != previous:
+                code.append(digit)
+            previous = digit
+        elif ch not in _TRANSPARENT:
+            previous = None
+    return (("".join(code)) + "000")[:4]
+
+
+class Soundex:
+    """1.0 when the two words share a Soundex code, else 0.0."""
+
+    def get_raw_score(self, left: str, right: str) -> float:
+        code_left = soundex_code(left)
+        code_right = soundex_code(right)
+        if not code_left or not code_right:
+            return 0.0
+        return 1.0 if code_left == code_right else 0.0
+
+    get_sim_score = get_raw_score

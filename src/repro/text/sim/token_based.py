@@ -1,0 +1,162 @@
+"""Token-based (set and bag) string similarity measures.
+
+All measures accept two token collections (lists or sets of strings).
+Set-based measures convert their inputs to sets; TF-IDF treats them as
+bags.  Conventions follow py_stringmatching: two empty inputs score 1.0,
+one empty input scores 0.0.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+
+def _as_set(tokens: Iterable[str]) -> set[str]:
+    return tokens if isinstance(tokens, set) else set(tokens)
+
+
+def _empty_score(left: set, right: set) -> float | None:
+    """Shared handling of empty inputs; None means 'not an edge case'."""
+    if not left and not right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    return None
+
+
+class Jaccard:
+    """|intersection| / |union| of the two token sets."""
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = _as_set(left), _as_set(right)
+        edge = _empty_score(left, right)
+        if edge is not None:
+            return edge
+        inter = len(left & right)
+        return inter / (len(left) + len(right) - inter)
+
+    get_sim_score = get_raw_score
+
+
+class Dice:
+    """2 * |intersection| / (|left| + |right|)."""
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = _as_set(left), _as_set(right)
+        edge = _empty_score(left, right)
+        if edge is not None:
+            return edge
+        return 2.0 * len(left & right) / (len(left) + len(right))
+
+    get_sim_score = get_raw_score
+
+
+class OverlapCoefficient:
+    """|intersection| / min(|left|, |right|)."""
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = _as_set(left), _as_set(right)
+        edge = _empty_score(left, right)
+        if edge is not None:
+            return edge
+        return len(left & right) / min(len(left), len(right))
+
+    get_sim_score = get_raw_score
+
+
+class Overlap:
+    """Raw overlap size |intersection| (used by overlap blocking/joins)."""
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> int:
+        return len(_as_set(left) & _as_set(right))
+
+
+class Cosine:
+    """Set cosine (Ochiai): |intersection| / sqrt(|left| * |right|)."""
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = _as_set(left), _as_set(right)
+        edge = _empty_score(left, right)
+        if edge is not None:
+            return edge
+        return len(left & right) / math.sqrt(len(left) * len(right))
+
+    get_sim_score = get_raw_score
+
+
+class TverskyIndex:
+    """Tversky index, generalizing Jaccard (a=b=1) and Dice (a=b=0.5)."""
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.5):
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        self.alpha = alpha
+        self.beta = beta
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = _as_set(left), _as_set(right)
+        edge = _empty_score(left, right)
+        if edge is not None:
+            return edge
+        inter = len(left & right)
+        denominator = (
+            inter + self.alpha * len(left - right) + self.beta * len(right - left)
+        )
+        return inter / denominator if denominator else 1.0
+
+    get_sim_score = get_raw_score
+
+
+class TfIdf:
+    """TF-IDF cosine similarity over token bags.
+
+    A corpus (list of token lists) supplies document frequencies; without
+    one, every token gets IDF 1 and the measure degrades to TF cosine.
+    With ``dampen=True`` (the py_stringmatching default) term frequencies
+    and IDFs are log-dampened.
+    """
+
+    def __init__(self, corpus: list[list[str]] | None = None, dampen: bool = True):
+        self.dampen = dampen
+        self._document_frequency: Counter[str] = Counter()
+        self._corpus_size = 0
+        if corpus:
+            for document in corpus:
+                self._document_frequency.update(set(document))
+            self._corpus_size = len(corpus)
+
+    def _idf(self, token: str) -> float:
+        if not self._corpus_size:
+            return 1.0
+        frequency = self._document_frequency.get(token, 0)
+        if frequency == 0:
+            return 0.0
+        idf = self._corpus_size / frequency
+        return math.log(idf) if self.dampen else idf
+
+    def _weights(self, tokens: Iterable[str]) -> dict[str, float]:
+        counts = Counter(tokens)
+        weights = {}
+        for token, count in counts.items():
+            tf = math.log(1 + count) if self.dampen else float(count)
+            weights[token] = tf * self._idf(token)
+        return weights
+
+    def get_raw_score(self, left: Iterable[str], right: Iterable[str]) -> float:
+        left, right = list(left), list(right)
+        if not left and not right:
+            return 1.0
+        if not left or not right:
+            return 0.0
+        w_left = self._weights(left)
+        w_right = self._weights(right)
+        dot = sum(w_left[t] * w_right[t] for t in w_left.keys() & w_right.keys())
+        norm_left = math.sqrt(sum(w * w for w in w_left.values()))
+        norm_right = math.sqrt(sum(w * w for w in w_right.values()))
+        if norm_left == 0.0 or norm_right == 0.0:
+            return 0.0
+        return dot / (norm_left * norm_right)
+
+    get_sim_score = get_raw_score

@@ -1,0 +1,210 @@
+"""Tests for blocking rules: predicates, parsing, and join execution."""
+
+import math
+
+import pytest
+
+from repro.blocking import (
+    BlockingRule,
+    Predicate,
+    RuleBasedBlocker,
+    execute_rule_survivors,
+    execute_rules,
+    parse_predicate,
+    parse_rule,
+)
+from repro.exceptions import ConfigurationError, WorkflowError
+from repro.features import get_features_for_blocking, get_features_for_matching
+from repro.table import Table
+
+
+@pytest.fixture
+def name_tables():
+    table_a = Table(
+        {
+            "id": ["a1", "a2", "a3"],
+            "name": ["dave smith", "joe wilson", "dan smith"],
+            "age": [40, 30, 35],
+        }
+    )
+    table_b = Table(
+        {
+            "id": ["b1", "b2"],
+            "name": ["dave smith", "daniel smith"],
+            "age": [40, 36],
+        }
+    )
+    return table_a, table_b
+
+
+class TestPredicate:
+    def test_ops(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        feature = features.get("name_jaccard_ws")
+        assert Predicate(feature, ">=", 0.5).holds_value(0.5)
+        assert not Predicate(feature, ">", 0.5).holds_value(0.5)
+        assert Predicate(feature, "<=", 0.5).holds_value(0.5)
+        assert not Predicate(feature, "<", 0.5).holds_value(0.5)
+
+    def test_nan_satisfies_nothing(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        feature = features.get("name_jaccard_ws")
+        for op in ("<=", "<", ">=", ">"):
+            assert not Predicate(feature, op, 0.5).holds_value(math.nan)
+
+    def test_invalid_op(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        with pytest.raises(ConfigurationError):
+            Predicate(features.get("name_jaccard_ws"), "==", 0.5)
+
+    def test_complement_flips(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        predicate = Predicate(features.get("name_jaccard_ws"), "<=", 0.4)
+        assert predicate.complement().op == ">"
+        assert predicate.complement().complement().op == "<="
+
+    def test_join_executability(self, name_tables):
+        table_a, table_b = name_tables
+        blocking = get_features_for_blocking(table_a, table_b)
+        matching = get_features_for_matching(table_a, table_b)
+        token = Predicate(blocking.get("name_jaccard_ws"), ">=", 0.4)
+        assert token.is_join_executable
+        below = Predicate(blocking.get("name_jaccard_ws"), "<=", 0.4)
+        assert not below.is_join_executable
+        edit = Predicate(matching.get("name_lev_sim"), ">=", 0.4)
+        assert not edit.is_join_executable  # edit-based feature
+
+
+class TestRuleParsing:
+    def test_parse_predicate(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        predicate = parse_predicate("name_jaccard_ws < 0.4", features)
+        assert predicate.op == "<"
+        assert predicate.threshold == 0.4
+
+    def test_parse_rule_conjunction(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        rule = parse_rule(
+            ["name_jaccard_ws <= 0.4", "name_exact <= 0.5"], features, name="r1"
+        )
+        assert len(rule.predicates) == 2
+        assert "r1" in str(rule)
+
+    def test_parse_errors(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        with pytest.raises(ConfigurationError):
+            parse_predicate("name_jaccard_ws <", features)
+        with pytest.raises(ConfigurationError):
+            parse_predicate("no_such_feature < 0.4", features)
+        with pytest.raises(ConfigurationError):
+            parse_predicate("name_jaccard_ws < abc", features)
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockingRule(())
+
+
+class TestRuleSemantics:
+    def test_drops_low_similarity(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule = parse_rule("name_jaccard_ws <= 0.3", features)
+        a_rows = {row["id"]: row for row in table_a.rows()}
+        b_rows = {row["id"]: row for row in table_b.rows()}
+        assert rule.drops(a_rows["a2"], b_rows["b1"])  # joe wilson vs dave smith
+        assert not rule.drops(a_rows["a1"], b_rows["b1"])  # identical names
+
+    def test_executable_flag(self, name_tables):
+        features = get_features_for_blocking(*name_tables)
+        executable = parse_rule("name_jaccard_ws <= 0.4", features)
+        assert executable.is_executable
+        not_executable = parse_rule("name_jaccard_ws > 0.4", features)
+        assert not not_executable.is_executable
+
+
+class TestRuleExecution:
+    def test_survivors_match_pairwise(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule = parse_rule("name_jaccard_ws <= 0.3", features)
+        survivors = execute_rule_survivors(rule, table_a, table_b, "id", "id")
+        expected = {
+            (l_row["id"], r_row["id"])
+            for l_row in table_a.rows()
+            for r_row in table_b.rows()
+            if not rule.drops(l_row, r_row)
+        }
+        assert survivors == expected
+
+    def test_conjunction_survivors_are_union_of_complements(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule = parse_rule(
+            ["name_jaccard_ws <= 0.3", "name_exact <= 0.5"], features
+        )
+        survivors = execute_rule_survivors(rule, table_a, table_b, "id", "id")
+        expected = {
+            (l_row["id"], r_row["id"])
+            for l_row in table_a.rows()
+            for r_row in table_b.rows()
+            if not rule.drops(l_row, r_row)
+        }
+        assert survivors == expected
+
+    def test_multiple_rules_intersect(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule1 = parse_rule("name_jaccard_ws <= 0.3", features)
+        rule2 = parse_rule("name_jaccard_qgm3 <= 0.2", features)
+        combined = execute_rules([rule1, rule2], table_a, table_b, "id", "id")
+        s1 = execute_rule_survivors(rule1, table_a, table_b, "id", "id")
+        s2 = execute_rule_survivors(rule2, table_a, table_b, "id", "id")
+        assert combined == s1 & s2
+
+    def test_exact_predicate_execution(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule = parse_rule("name_exact <= 0.5", features)
+        survivors = execute_rule_survivors(rule, table_a, table_b, "id", "id")
+        assert survivors == {("a1", "b1")}  # only exactly-equal names survive
+
+    def test_non_executable_rule_raises(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        rule = parse_rule("name_jaccard_ws > 0.4", features)
+        with pytest.raises(WorkflowError):
+            execute_rule_survivors(rule, table_a, table_b, "id", "id")
+
+    def test_no_rules_raises(self, name_tables):
+        with pytest.raises(WorkflowError):
+            execute_rules([], *name_tables, "id", "id")
+
+
+class TestRuleBasedBlocker:
+    def test_join_path_used_when_executable(self, name_tables):
+        table_a, table_b = name_tables
+        features = get_features_for_blocking(table_a, table_b)
+        blocker = RuleBasedBlocker()
+        blocker.add_rule("name_jaccard_ws <= 0.3", features)
+        assert blocker.is_join_executable
+        candset = blocker.block_tables(table_a, table_b, "id", "id")
+        expected = {
+            (l_row["id"], r_row["id"])
+            for l_row in table_a.rows()
+            for r_row in table_b.rows()
+            if not blocker.block_tuples(l_row, r_row)
+        }
+        assert set(zip(candset["ltable_id"], candset["rtable_id"])) == expected
+
+    def test_pairwise_fallback(self, name_tables):
+        table_a, table_b = name_tables
+        matching = get_features_for_matching(table_a, table_b)
+        blocker = RuleBasedBlocker()
+        blocker.add_rule("name_lev_sim <= 0.3", matching)  # edit-based: no join
+        assert not blocker.is_join_executable
+        candset = blocker.block_tables(table_a, table_b, "id", "id")
+        assert candset.num_rows > 0
+
+    def test_no_rules_raises(self, name_tables):
+        with pytest.raises(ConfigurationError):
+            RuleBasedBlocker().block_tables(*name_tables, "id", "id")

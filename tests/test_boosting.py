@@ -1,0 +1,164 @@
+"""Tests for the regression tree and gradient boosting (XGBoost substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ml import DecisionTreeRegressor, GradientBoostingClassifier
+from repro.ml.model_selection import cross_validate, mean_cv_score
+
+
+def nonlinear_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)  # XOR-like: linear models fail
+    return X, y
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        predictions = tree.predict(X)
+        assert np.allclose(predictions[:50], 0.0)
+        assert np.allclose(predictions[50:], 10.0)
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(20, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(20, 3.5))
+        assert tree.n_leaves_ == 1
+        assert np.allclose(tree.predict(X), 3.5)
+
+    def test_max_depth_limits_leaves(self):
+        X, y = nonlinear_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y.astype(float))
+        assert tree.n_leaves_ <= 4
+
+    def test_apply_ids_dense_and_consistent(self):
+        X, y = nonlinear_data(n=100)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y.astype(float))
+        leaves = tree.apply(X)
+        assert leaves.min() >= 0
+        assert leaves.max() < tree.n_leaves_
+        # rows in the same leaf get the same prediction
+        predictions = tree.predict(X)
+        for leaf in np.unique(leaves):
+            assert len(set(predictions[leaves == leaf].tolist())) == 1
+
+    def test_set_leaf_values(self):
+        X = np.array([[0.0], [1.0]])
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, np.array([0.0, 1.0]))
+        leaves = tree.apply(X)
+        tree.set_leaf_values({int(leaves[0]): -7.0})
+        assert tree.predict(X)[0] == -7.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+    def test_mse_decreases_with_depth(self):
+        X, _ = nonlinear_data(n=200)
+        target = X[:, 0] ** 2 + X[:, 1]
+        errors = []
+        for depth in (1, 3, 6):
+            tree = DecisionTreeRegressor(max_depth=depth).fit(X, target)
+            errors.append(float(np.mean((tree.predict(X) - target) ** 2)))
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestGradientBoosting:
+    def test_learns_nonlinear_boundary(self):
+        X, y = nonlinear_data()
+        model = GradientBoostingClassifier(n_estimators=60, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_beats_single_round(self):
+        X, y = nonlinear_data(seed=1)
+        weak = GradientBoostingClassifier(n_estimators=1, random_state=0).fit(X, y)
+        strong = GradientBoostingClassifier(n_estimators=50, random_state=0).fit(X, y)
+        assert strong.score(X, y) > weak.score(X, y)
+
+    def test_proba_valid(self):
+        X, y = nonlinear_data(n=100)
+        proba = GradientBoostingClassifier(n_estimators=10).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_staged_scores_shape(self):
+        X, y = nonlinear_data(n=80)
+        model = GradientBoostingClassifier(n_estimators=7).fit(X, y)
+        stages = model.staged_scores(X)
+        assert stages.shape == (7, 80)
+
+    def test_training_loss_decreases_over_stages(self):
+        X, y = nonlinear_data(n=150, seed=2)
+        model = GradientBoostingClassifier(n_estimators=30, random_state=0).fit(X, y)
+        stages = model.staged_scores(X)
+        proba_first = 1 / (1 + np.exp(-stages[0]))
+        proba_last = 1 / (1 + np.exp(-stages[-1]))
+
+        def loss(p):
+            p = np.clip(p, 1e-9, 1 - 1e-9)
+            return float(-np.mean(y * np.log(p) + (1 - y) * np.log(1 - p)))
+
+        assert loss(proba_last) < loss(proba_first)
+
+    def test_subsample(self):
+        X, y = nonlinear_data(n=120)
+        model = GradientBoostingClassifier(
+            n_estimators=30, subsample=0.5, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_binary_only(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.array([0, 1, 2] * 10)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_nonstandard_labels(self):
+        X, y01 = nonlinear_data(n=100)
+        y = np.where(y01 == 1, 9, 4)
+        model = GradientBoostingClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert set(model.predict(X).tolist()) <= {4, 9}
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            GradientBoostingClassifier(subsample=1.5)
+
+    def test_cross_validates_competitively(self):
+        X, y = nonlinear_data(n=200, seed=3)
+        scores = cross_validate(
+            GradientBoostingClassifier(n_estimators=40, random_state=0),
+            X, y, n_splits=3, random_state=0,
+        )
+        assert mean_cv_score(scores, "f1") > 0.85
+
+
+class TestXGMatcher:
+    def test_in_selection(self, small_person_dataset):
+        from repro.blocking import OverlapBlocker
+        from repro.features import extract_feature_vecs, get_features_for_matching
+        from repro.matchers import DTMatcher, XGMatcher, select_matcher
+
+        ds = small_person_dataset
+        candset = OverlapBlocker("name", overlap_size=1).block_tables(
+            ds.ltable, ds.rtable, "id", "id"
+        )
+        labels = [
+            1 if pair in ds.gold_pairs else 0
+            for pair in zip(candset["ltable_id"], candset["rtable_id"])
+        ]
+        candset.add_column("label", labels)
+        features = get_features_for_matching(ds.ltable, ds.rtable)
+        fv = extract_feature_vecs(candset, features, label_column="label")
+        result = select_matcher(
+            [DTMatcher(), XGMatcher(n_estimators=25, random_state=0)],
+            fv, features.names(), n_splits=3,
+        )
+        assert result.best_score > 0.8

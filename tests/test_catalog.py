@@ -1,0 +1,164 @@
+"""Tests for the metadata catalog and self-containment checks."""
+
+import warnings
+
+import pytest
+
+from repro.catalog import (
+    StaleMetadataWarning,
+    check_fk_constraint,
+    get_catalog,
+    reset_catalog,
+    validate_candset,
+)
+from repro.catalog.catalog import Catalog
+from repro.exceptions import (
+    CatalogError,
+    ForeignKeyConstraintError,
+    KeyConstraintError,
+)
+from repro.table import Table
+
+
+def make_tables():
+    ltable = Table({"id": ["a1", "a2"], "v": ["x", "y"]})
+    rtable = Table({"id": ["b1", "b2"], "v": ["x", "z"]})
+    candset = Table(
+        {"_id": [0, 1], "ltable_id": ["a1", "a2"], "rtable_id": ["b1", "b2"]}
+    )
+    return ltable, rtable, candset
+
+
+class TestKeys:
+    def test_set_get_key(self):
+        catalog = Catalog()
+        table = Table({"id": [1, 2]})
+        catalog.set_key(table, "id")
+        assert catalog.get_key(table) == "id"
+
+    def test_set_key_validates(self):
+        catalog = Catalog()
+        with pytest.raises(KeyConstraintError):
+            catalog.set_key(Table({"id": [1, 1]}), "id")
+
+    def test_get_key_missing_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.get_key(Table({"id": [1]}))
+
+    def test_get_key_default(self):
+        catalog = Catalog()
+        assert catalog.get_key(Table({"id": [1]}), default=None) is None
+
+    def test_global_catalog_reset(self):
+        table = Table({"id": [1]})
+        get_catalog().set_key(table, "id")
+        assert len(get_catalog()) == 1
+        reset_catalog()
+        assert len(get_catalog()) == 0
+
+    def test_weak_references(self):
+        catalog = Catalog()
+        table = Table({"id": [1]})
+        catalog.set_key(table, "id")
+        assert len(catalog) == 1
+        del table
+        import gc
+
+        gc.collect()
+        assert len(catalog) == 0
+
+
+class TestProperties:
+    def test_set_get_property(self):
+        catalog = Catalog()
+        table = Table({"id": [1]})
+        catalog.set_property(table, "source", "walmart")
+        assert catalog.get_property(table, "source") == "walmart"
+
+    def test_get_property_missing(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.get_property(Table({"id": [1]}), "nope")
+        assert catalog.get_property(Table({"id": [1]}), "nope", default=3) == 3
+
+
+class TestCandsetMetadata:
+    def test_round_trip(self):
+        catalog = Catalog()
+        ltable, rtable, candset = make_tables()
+        catalog.set_key(ltable, "id")
+        catalog.set_key(rtable, "id")
+        catalog.set_candset_metadata(candset, "_id", "ltable_id", "rtable_id", ltable, rtable)
+        meta = catalog.get_candset_metadata(candset)
+        assert meta.is_candset()
+        assert meta.ltable is ltable
+
+    def test_incomplete_metadata_raises(self):
+        catalog = Catalog()
+        table = Table({"_id": [0]})
+        catalog.set_key(table, "_id")
+        with pytest.raises(CatalogError, match="candidate-set"):
+            catalog.get_candset_metadata(table)
+
+    def test_copy_metadata(self):
+        catalog = Catalog()
+        ltable, rtable, candset = make_tables()
+        catalog.set_key(ltable, "id")
+        catalog.set_key(rtable, "id")
+        catalog.set_candset_metadata(candset, "_id", "ltable_id", "rtable_id", ltable, rtable)
+        clone = candset.copy()
+        catalog.copy_metadata(candset, clone)
+        assert catalog.get_candset_metadata(clone).fk_ltable == "ltable_id"
+
+    def test_copy_metadata_requires_source(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.copy_metadata(Table({"id": [1]}), Table({"id": [1]}))
+
+
+class TestSelfContainment:
+    """The paper's scenario: a tool checks FK constraints before trusting them."""
+
+    def test_fk_constraint_holds(self):
+        ltable, _, candset = make_tables()
+        check_fk_constraint(candset, "ltable_id", ltable, "id")
+
+    def test_fk_constraint_dangling(self):
+        ltable, _, candset = make_tables()
+        # Another tool removed a tuple from A without telling the catalog.
+        shrunk = ltable.select(lambda row: row["id"] != "a2")
+        with pytest.raises(ForeignKeyConstraintError, match="no matching"):
+            check_fk_constraint(candset, "ltable_id", shrunk, "id")
+
+    def test_validate_candset_ok(self):
+        catalog = get_catalog()
+        ltable, rtable, candset = make_tables()
+        catalog.set_key(ltable, "id")
+        catalog.set_key(rtable, "id")
+        catalog.set_candset_metadata(candset, "_id", "ltable_id", "rtable_id", ltable, rtable)
+        meta = validate_candset(candset)
+        assert meta.fk_rtable == "rtable_id"
+
+    def test_validate_candset_strict_raises_on_stale(self):
+        catalog = get_catalog()
+        ltable, rtable, candset = make_tables()
+        catalog.set_key(ltable, "id")
+        catalog.set_key(rtable, "id")
+        catalog.set_candset_metadata(candset, "_id", "ltable_id", "rtable_id", ltable, rtable)
+        # Mutate A in place: drop a referenced row (stale metadata now).
+        ltable.add_column("id", ["a1", "zzz"])
+        with pytest.raises(ForeignKeyConstraintError):
+            validate_candset(candset, strict=True)
+
+    def test_validate_candset_lenient_warns(self):
+        catalog = get_catalog()
+        ltable, rtable, candset = make_tables()
+        catalog.set_key(ltable, "id")
+        catalog.set_key(rtable, "id")
+        catalog.set_candset_metadata(candset, "_id", "ltable_id", "rtable_id", ltable, rtable)
+        ltable.add_column("id", ["a1", "zzz"])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            validate_candset(candset, strict=False)
+        assert any(issubclass(w.category, StaleMetadataWarning) for w in caught)

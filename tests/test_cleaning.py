@@ -1,0 +1,74 @@
+"""Tests for dirty-data detection and isolation."""
+
+import pytest
+
+from repro.cleaning import (
+    clean_em_dataset,
+    detect_generic_values,
+    isolate_rows,
+    profile_missingness,
+)
+from repro.datasets import build_cloudmatcher_dataset, cloudmatcher_scenario
+from repro.datasets.vocab import GENERIC_ADDRESS
+from repro.exceptions import ConfigurationError
+from repro.table import Table
+
+
+class TestProfileMissingness:
+    def test_rates(self):
+        table = Table({"a": [1, None, 3, None], "b": ["x", "", "y", "z"]})
+        rates = profile_missingness(table)
+        assert rates["a"] == 0.5
+        assert rates["b"] == 0.25
+
+    def test_empty_table(self):
+        assert profile_missingness(Table({"a": []})) == {"a": 0.0}
+
+
+class TestGenericValueDetection:
+    def test_detects_placeholder(self):
+        values = [f"unique street {i}" for i in range(90)] + ["PLACEHOLDER"] * 10
+        table = Table({"addr": values})
+        result = detect_generic_values(table, "addr", distinctiveness=0.02)
+        assert result.generic_values == ["PLACEHOLDER"]
+        assert result.affected_rows == 10
+
+    def test_clean_column_passes(self):
+        table = Table({"addr": [f"street {i}" for i in range(50)]})
+        result = detect_generic_values(table, "addr")
+        assert result.generic_values == []
+
+    def test_missing_values_ignored(self):
+        table = Table({"addr": [None] * 50 + ["x"]})
+        result = detect_generic_values(table, "addr", distinctiveness=0.02)
+        assert result.generic_values == []
+
+    def test_multiple_generics_ranked_by_count(self):
+        values = ["A"] * 30 + ["B"] * 20 + [f"u{i}" for i in range(50)]
+        result = detect_generic_values(Table({"c": values}), "c", distinctiveness=0.05)
+        assert result.generic_values == ["A", "B"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_generic_values(Table({"c": ["x"]}), "c", distinctiveness=0.0)
+
+
+class TestIsolation:
+    def test_split(self):
+        table = Table({"id": [1, 2, 3], "v": ["bad", "ok", "bad"]})
+        clean, dirty = isolate_rows(table, "v", ["bad"])
+        assert clean.column("id") == [2]
+        assert dirty.column("id") == [1, 3]
+
+
+class TestCleanEmDataset:
+    def test_vendors_story(self):
+        """The Brazilian-vendors fix, automated: detect the generic
+        address, quarantine its rows, gold shrinks but survives."""
+        dataset = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors"))
+        cleaned, reports = clean_em_dataset(dataset, "address", distinctiveness=0.01)
+        assert any(GENERIC_ADDRESS in r.generic_values for r in reports)
+        assert cleaned.ltable.num_rows < dataset.ltable.num_rows
+        assert cleaned.gold_pairs < dataset.gold_pairs
+        assert len(cleaned.gold_pairs) > 0
+        assert GENERIC_ADDRESS not in cleaned.ltable.unique_values("address")

@@ -1,0 +1,270 @@
+"""Tests for CloudMatcher: services, DAGs, fragments, engines, facade."""
+
+import pytest
+
+from repro.cloud import (
+    DEFAULT_REGISTRY,
+    CloudMatcher01,
+    CloudMatcher10,
+    CloudMatcher20,
+    CostModel,
+    EMWorkflow,
+    MetaManager,
+    ServiceKind,
+    ServiceRegistry,
+    WorkflowContext,
+    build_falcon_workflow,
+    decompose_fragments,
+)
+from repro.cloud.services import Service
+from repro.datasets import DirtinessConfig, make_em_dataset
+from repro.datasets.entities import restaurant
+from repro.exceptions import ServiceError, WorkflowError
+from repro.falcon import FalconConfig
+from repro.labeling import LabelingSession, OracleLabeler
+
+
+def small_dataset(seed=0, n=150):
+    return make_em_dataset(
+        restaurant, n, n, match_fraction=0.5,
+        dirtiness=DirtinessConfig.light(), seed=seed, name=f"cloud-test-{seed}",
+    )
+
+
+def make_context(dataset, budget=400):
+    session = LabelingSession(OracleLabeler(dataset.gold_pairs), budget=budget)
+    return WorkflowContext(
+        dataset=dataset,
+        session=session,
+        config=FalconConfig(sample_size=400, blocking_budget=100,
+                            matching_budget=200, random_state=0),
+        task_name=dataset.name,
+    )
+
+
+class TestRegistry:
+    def test_table4_counts(self):
+        """Appendix D: 18 basic services and 2 composite services."""
+        core = [s for s in DEFAULT_REGISTRY.services() if s.core]
+        assert len([s for s in core if not s.composite]) == 18
+        assert len([s for s in core if s.composite]) == 2
+
+    def test_composite_names(self):
+        composites = DEFAULT_REGISTRY.names(composite=True)
+        assert "falcon" in composites
+        assert "get_blocking_rules" in composites
+
+    def test_get_unknown(self):
+        with pytest.raises(ServiceError):
+            DEFAULT_REGISTRY.get("teleport")
+
+    def test_duplicate_registration(self):
+        registry = ServiceRegistry()
+        service = Service("x", ServiceKind.BATCH, "d", lambda ctx: 0.0)
+        registry.register(service)
+        with pytest.raises(ServiceError):
+            registry.register(service)
+
+    def test_every_service_kind_valid(self):
+        for service in DEFAULT_REGISTRY.services():
+            assert isinstance(service.kind, ServiceKind)
+            assert service.description
+
+
+class TestContext:
+    def test_put_get(self, small_person_dataset):
+        context = make_context(small_person_dataset)
+        context.put("x", 42)
+        assert context.get("x") == 42
+        assert context.has("x")
+
+    def test_missing_artifact(self, small_person_dataset):
+        context = make_context(small_person_dataset)
+        with pytest.raises(ServiceError, match="not available"):
+            context.get("nope")
+
+
+class TestWorkflowDag:
+    def test_falcon_workflow_builds(self):
+        workflow = build_falcon_workflow("t", DEFAULT_REGISTRY)
+        assert len(workflow) == 16
+        order = [call.node_id for call in workflow.topological_calls()]
+        assert order.index("upload") < order.index("sample")
+        assert order.index("learn_blocking") < order.index("execute_rules")
+
+    def test_duplicate_node_rejected(self):
+        workflow = EMWorkflow("w")
+        service = DEFAULT_REGISTRY.get("profile_dataset")
+        workflow.add_call("a", service)
+        with pytest.raises(WorkflowError):
+            workflow.add_call("a", service)
+
+    def test_unknown_predecessor(self):
+        workflow = EMWorkflow("w")
+        with pytest.raises(WorkflowError):
+            workflow.add_call("a", DEFAULT_REGISTRY.get("profile_dataset"), after=["zzz"])
+
+    def test_cycle_rejected(self):
+        workflow = EMWorkflow("w")
+        service = DEFAULT_REGISTRY.get("profile_dataset")
+        workflow.add_call("a", service)
+        workflow.add_call("b", service, after=["a"])
+        workflow.graph.add_edge("b", "a")
+        with pytest.raises(WorkflowError):
+            workflow.add_call("c", service, after=["b"])
+
+    def test_fragments_are_same_kind(self):
+        workflow = build_falcon_workflow("t", DEFAULT_REGISTRY)
+        fragments, fragment_dag = decompose_fragments(workflow)
+        for fragment in fragments:
+            kinds = {call.kind for call in fragment.calls}
+            assert kinds == {fragment.kind}
+        # every node lands in exactly one fragment
+        all_nodes = [call.node_id for fragment in fragments for call in fragment.calls]
+        assert sorted(all_nodes) == sorted(workflow.graph.nodes)
+
+    def test_fragment_dag_acyclic_topological(self):
+        import networkx as nx
+
+        workflow = build_falcon_workflow("t", DEFAULT_REGISTRY)
+        _, fragment_dag = decompose_fragments(workflow)
+        assert nx.is_directed_acyclic_graph(fragment_dag)
+
+    def test_crowd_variant_retags_learning(self):
+        workflow = build_falcon_workflow("t", DEFAULT_REGISTRY, use_crowd=True)
+        assert workflow.call("learn_blocking").kind == ServiceKind.CROWD
+        assert workflow.call("learn_matching").kind == ServiceKind.CROWD
+        assert workflow.call("upload").kind == ServiceKind.USER_INTERACTION
+
+
+class TestEngines:
+    def test_engine_rejects_wrong_kind(self, small_person_dataset):
+        from repro.cloud.engines import ExecutionEngine
+
+        workflow = build_falcon_workflow("t", DEFAULT_REGISTRY)
+        fragments, _ = decompose_fragments(workflow)
+        batch_fragment = next(f for f in fragments if f.kind == ServiceKind.BATCH)
+        engine = ExecutionEngine(ServiceKind.CROWD)
+        with pytest.raises(WorkflowError):
+            engine.execute(batch_fragment, make_context(small_person_dataset), 0.0)
+
+    def test_metamanager_single_workflow(self):
+        dataset = small_dataset(seed=1)
+        manager = MetaManager()
+        context = make_context(dataset)
+        manager.submit(build_falcon_workflow(dataset.name, DEFAULT_REGISTRY), context)
+        makespan = manager.run_all()
+        assert makespan > 0
+        assert context.has("matches")
+
+    def test_interleaving_beats_serial(self):
+        def run(interleave):
+            manager = MetaManager(interleave=interleave)
+            for seed in (1, 2):
+                dataset = small_dataset(seed=seed)
+                manager.submit(
+                    build_falcon_workflow(dataset.name, DEFAULT_REGISTRY),
+                    make_context(dataset),
+                )
+            return manager.run_all()
+
+        serial = run(False)
+        interleaved = run(True)
+        assert interleaved < serial
+
+    def test_empty_manager(self):
+        assert MetaManager().run_all() == 0.0
+
+    def test_user_engines_are_per_run(self):
+        manager = MetaManager()
+        run_a = manager.submit(build_falcon_workflow("a", DEFAULT_REGISTRY),
+                               make_context(small_dataset(seed=3)))
+        run_b = manager.submit(build_falcon_workflow("b", DEFAULT_REGISTRY),
+                               make_context(small_dataset(seed=4)))
+        engine_a = manager.engine_for(run_a, ServiceKind.USER_INTERACTION)
+        engine_b = manager.engine_for(run_b, ServiceKind.USER_INTERACTION)
+        assert engine_a is not engine_b
+        assert manager.engine_for(run_a, ServiceKind.BATCH) is manager.engine_for(
+            run_b, ServiceKind.BATCH
+        )
+
+
+class TestCloudMatcherFacade:
+    def test_cm01_end_to_end(self):
+        dataset = small_dataset(seed=5)
+        matcher = CloudMatcher01()
+        result = matcher.match(
+            dataset,
+            LabelingSession(OracleLabeler(dataset.gold_pairs), budget=400),
+            FalconConfig(sample_size=400, blocking_budget=100,
+                         matching_budget=200, random_state=0),
+        )
+        assert result.accuracy["precision"] > 0.8
+        row = result.cost.as_row()
+        assert row["Crowd"] == "-"  # single user, no crowd dollars
+        assert int(row["Questions"]) <= 400
+
+    def test_cm10_concurrent_results(self):
+        matcher = CloudMatcher10()
+        for seed in (6, 7):
+            dataset = small_dataset(seed=seed)
+            matcher.submit(
+                dataset,
+                LabelingSession(OracleLabeler(dataset.gold_pairs), budget=400),
+                FalconConfig(sample_size=400, blocking_budget=100,
+                             matching_budget=200, random_state=0),
+            )
+        makespan, results = matcher.run()
+        assert len(results) == 2
+        assert all(r.accuracy is not None for r in results)
+        assert all(r.extras["finish_time"] <= makespan + 1e-9 for r in results)
+
+    def test_cm20_custom_workflow(self):
+        """The 2.0 story: a user who already knows the blocking rules can
+        skip learning them."""
+        dataset = small_dataset(seed=8)
+        matcher = CloudMatcher20()
+        context = make_context(dataset)
+        # Pre-seed rules: empty -> the execute service falls back to an
+        # overlap blocker; this is the 'user skips rule learning' path.
+        context.put("rules", [])
+        workflow = EMWorkflow("custom")
+        registry = matcher.registry
+        workflow.add_call("upload", registry.get("upload_tables"))
+        workflow.add_call("block", registry.get("execute_blocking_rules"), after=["upload"])
+        workflow.add_call("features", registry.get("generate_matching_features"), after=["upload"])
+        workflow.add_call("vectors", registry.get("extract_candidate_vectors"), after=["block", "features"])
+        workflow.add_call("learn", registry.get("active_learn_matching"), after=["vectors"])
+        workflow.add_call("train", registry.get("train_classifier"), after=["learn"])
+        workflow.add_call("apply", registry.get("apply_classifier"), after=["train"])
+        matcher.submit_custom(workflow, context)
+        makespan, results = matcher.run()
+        assert results[0].accuracy["precision"] > 0.7
+        assert context.get("used_fallback") is True
+
+    def test_cm20_label_only_service(self):
+        dataset = small_dataset(seed=9)
+        matcher = CloudMatcher20()
+        context = make_context(dataset)
+        context.put("pairs_to_label", sorted(dataset.gold_pairs)[:5])
+        matcher.invoke_service("label_pairs", context)
+        assert context.get("labels") == [1, 1, 1, 1, 1]
+
+    def test_cost_model(self):
+        model = CostModel(aws_dollars_per_hour=3.6)
+        assert model.compute_cost(3600, on_cloud=True) == pytest.approx(3.6)
+        assert model.compute_cost(3600, on_cloud=False) == 0.0
+        assert model.crowd_cost(100) == pytest.approx(2.0)
+
+    def test_cost_report_rendering(self):
+        from repro.cloud import TaskCostReport
+
+        report = TaskCostReport(
+            questions=200, crowd_dollars=1.5, compute_dollars=None,
+            labeling_seconds=7200, machine_seconds=90,
+        )
+        row = report.as_row()
+        assert row["Crowd"] == "$1.50"
+        assert row["Compute"] == "-"
+        assert row["User/Crowd"] == "2.0h"
+        assert row["Machine"] == "2m"

@@ -1,0 +1,166 @@
+"""Tests for multi-labeler consensus and incremental matching."""
+
+import pytest
+
+from repro.blocking import OverlapBlocker
+from repro.catalog import get_catalog
+from repro.datasets import DirtinessConfig, make_em_dataset
+from repro.datasets.entities import restaurant
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.labeling import ConsensusLabeler, LabelingSession, OracleLabeler
+from repro.matchers import RFMatcher
+from repro.pipeline import IncrementalMatcher
+from repro.sampling import weighted_sample_candset
+from repro.table import Table
+
+GOLD = {(f"a{i}", f"b{i}") for i in range(50)}
+QUESTIONS = [(f"a{i}", f"b{i}") for i in range(50)] + [
+    (f"a{i}", f"b{i + 1}") for i in range(49)
+]
+
+
+class TestConsensusLabeler:
+    def _accuracy(self, labeler):
+        return sum(
+            labeler.label(q) == (1 if q in GOLD else 0) for q in QUESTIONS
+        ) / len(QUESTIONS)
+
+    def test_beats_single_noisy_labeler(self):
+        single = OracleLabeler(GOLD, noise_rate=0.2, seed=0)
+        consensus = ConsensusLabeler(
+            [OracleLabeler(GOLD, noise_rate=0.2, seed=1),
+             OracleLabeler(GOLD, noise_rate=0.2, seed=2)],
+            adjudicator=OracleLabeler(GOLD, seed=3),
+        )
+        assert self._accuracy(consensus) > self._accuracy(single)
+
+    def test_agreement_skips_adjudicator(self):
+        adjudicator = OracleLabeler(GOLD)
+        consensus = ConsensusLabeler(
+            [OracleLabeler(GOLD), OracleLabeler(GOLD)], adjudicator
+        )
+        consensus.label(("a1", "b1"))
+        assert adjudicator.questions_asked == 0
+        assert consensus.assignments == 2
+        assert consensus.disagreements == 0
+
+    def test_disagreement_escalates(self):
+        # One always-wrong labeler forces disagreement on every question.
+        adjudicator = OracleLabeler(GOLD)
+        consensus = ConsensusLabeler(
+            [OracleLabeler(GOLD), OracleLabeler(GOLD, noise_rate=1.0, seed=0)],
+            adjudicator,
+        )
+        answer = consensus.label(("a1", "b1"))
+        assert answer == 1  # the truthful adjudicator decides
+        assert consensus.disagreements == 1
+        assert consensus.assignments == 3
+
+    def test_time_accounting(self):
+        consensus = ConsensusLabeler(
+            [OracleLabeler(GOLD, seconds_per_label=5),
+             OracleLabeler(GOLD, noise_rate=1.0, seconds_per_label=5, seed=0)],
+            adjudicator=OracleLabeler(GOLD, seconds_per_label=20),
+        )
+        consensus.label(("a1", "b1"))
+        assert consensus.labeling_seconds == 5 + 5 + 20
+
+    def test_requires_two_primaries(self):
+        with pytest.raises(ConfigurationError):
+            ConsensusLabeler([OracleLabeler(GOLD)], OracleLabeler(GOLD))
+
+    def test_works_inside_session(self):
+        consensus = ConsensusLabeler(
+            [OracleLabeler(GOLD), OracleLabeler(GOLD)], OracleLabeler(GOLD)
+        )
+        session = LabelingSession(consensus, budget=10)
+        assert session.ask(("a1", "b1")) == 1
+
+
+@pytest.fixture(scope="module")
+def trained_workflow():
+    """A dataset split into an initial batch and two later batches, plus a
+    matcher trained on the initial portion."""
+    dataset = make_em_dataset(
+        restaurant, 300, 300, match_fraction=0.5,
+        dirtiness=DirtinessConfig.light(), seed=55, name="incremental",
+    )
+    blocker = OverlapBlocker("name", overlap_size=1)
+    features = get_features_for_matching(dataset.ltable, dataset.rtable)
+    initial = dataset.rtable.take(range(0, 150))
+    batch1 = dataset.rtable.take(range(150, 225))
+    batch2 = dataset.rtable.take(range(225, 300))
+
+    candset = blocker.block_tables(dataset.ltable, initial, "id", "id")
+    sample = weighted_sample_candset(candset, 400, seed=0)
+    LabelingSession(OracleLabeler(dataset.gold_pairs)).label_candset(sample)
+    fv = extract_feature_vecs(sample, features, label_column="label")
+    matcher = RFMatcher(n_estimators=10, random_state=0).fit(fv, features.names())
+    return dataset, blocker, features, matcher, (batch1, batch2)
+
+
+class TestIncrementalMatcher:
+    def _build(self, trained_workflow, **kwargs):
+        dataset, blocker, features, matcher, batches = trained_workflow
+        get_catalog().set_key(dataset.ltable, "id")
+        incremental = IncrementalMatcher(
+            dataset.ltable, blocker, features, matcher, **kwargs
+        )
+        return dataset, incremental, batches
+
+    def test_batches_accumulate_matches(self, trained_workflow):
+        dataset, incremental, (batch1, batch2) = self._build(trained_workflow)
+        result1 = incremental.process_batch(batch1)
+        after_first = len(incremental.matches)
+        result2 = incremental.process_batch(batch2)
+        assert result1.batch_size == 75
+        assert incremental.total_processed == 150
+        assert len(incremental.matches) >= after_first
+        assert result2.new_matches <= incremental.matches
+
+    def test_accuracy_on_batches(self, trained_workflow):
+        dataset, incremental, (batch1, batch2) = self._build(trained_workflow)
+        incremental.process_batch(batch1)
+        incremental.process_batch(batch2)
+        batch_ids = set(batch1.column("id")) | set(batch2.column("id"))
+        gold = {(a, b) for a, b in dataset.gold_pairs if b in batch_ids}
+        predicted = incremental.matches
+        tp = len(predicted & gold)
+        assert tp / max(len(predicted), 1) > 0.8
+        assert tp / max(len(gold), 1) > 0.6
+
+    def test_duplicate_batch_rejected(self, trained_workflow):
+        dataset, incremental, (batch1, _) = self._build(trained_workflow)
+        incremental.process_batch(batch1)
+        with pytest.raises(SchemaError, match="re-uses right keys"):
+            incremental.process_batch(batch1)
+
+    def test_one_to_one_across_batches(self, trained_workflow):
+        dataset, incremental, (batch1, batch2) = self._build(trained_workflow)
+        incremental.process_batch(batch1)
+        incremental.process_batch(batch2)
+        lefts = [l for l, _ in incremental.matches]
+        assert len(set(lefts)) == len(lefts)
+
+    def test_without_one_to_one(self, trained_workflow):
+        dataset, incremental, (batch1, _) = self._build(
+            trained_workflow, one_to_one=False
+        )
+        result = incremental.process_batch(batch1)
+        assert result.skipped_existing == 0
+
+    def test_threshold_validation(self, trained_workflow):
+        dataset, blocker, features, matcher, _ = trained_workflow
+        with pytest.raises(ConfigurationError):
+            IncrementalMatcher(dataset.ltable, blocker, features, matcher, threshold=1.5)
+
+    def test_empty_batch_candidates(self, trained_workflow):
+        dataset, incremental, _ = self._build(trained_workflow)
+        strangers = Table(
+            {"id": ["z1"], "name": ["zzz qqq"], "street": ["1 Qqq Zz"],
+             "city": ["Nowhere"], "cuisine": ["Xxx"]}
+        )
+        result = incremental.process_batch(strangers)
+        assert result.candidate_pairs == 0
+        assert result.new_matches == set()

@@ -1,0 +1,198 @@
+"""Tests for corruptions, generators, and deployment scenarios."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    CLOUDMATCHER_SCENARIOS,
+    PYMATCHER_SCENARIOS,
+    DirtinessConfig,
+    build_cloudmatcher_dataset,
+    build_pymatcher_dataset,
+    cloudmatcher_scenario,
+    corrupt_record,
+    corrupt_value,
+    make_em_dataset,
+    make_string_dataset,
+    pymatcher_scenario,
+)
+from repro.datasets import corruptions, entities
+from repro.datasets.vocab import GENERIC_ADDRESS
+from repro.exceptions import ConfigurationError
+
+
+class TestCorruptions:
+    def test_typo_changes_string(self):
+        rng = random.Random(0)
+        changed = sum(corruptions.typo("wisconsin", rng) != "wisconsin" for _ in range(20))
+        assert changed >= 18  # a typo nearly always changes the string
+
+    def test_typo_empty_string(self):
+        assert corruptions.typo("", random.Random(0)) == ""
+
+    def test_abbreviate(self):
+        rng = random.Random(0)
+        result = corruptions.abbreviate("David Smith", rng)
+        assert "." in result
+        assert len(result) < len("David Smith")
+
+    def test_abbreviate_short_tokens_unchanged(self):
+        assert corruptions.abbreviate("ab cd", random.Random(0)) == "ab cd"
+
+    def test_drop_token(self):
+        result = corruptions.drop_token("a b c", random.Random(0))
+        assert len(result.split()) == 2
+
+    def test_drop_token_single(self):
+        assert corruptions.drop_token("solo", random.Random(0)) == "solo"
+
+    def test_reorder(self):
+        result = corruptions.reorder_tokens("a b", random.Random(0))
+        assert result == "b a"
+
+    def test_numeric_jitter_bounded(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            value = corruptions.numeric_jitter(100.0, rng, relative=0.05)
+            assert 95.0 <= value <= 105.0
+
+    def test_corrupt_value_missing(self):
+        config = DirtinessConfig(missing_rate=1.0)
+        assert corrupt_value("x", "col", config, random.Random(0)) is None
+
+    def test_corrupt_value_generic(self):
+        config = DirtinessConfig.clean()
+        config.generic_value_rate["address"] = (1.0, GENERIC_ADDRESS)
+        assert (
+            corrupt_value("real street 1", "address", config, random.Random(0))
+            == GENERIC_ADDRESS
+        )
+
+    def test_clean_config_is_identity(self):
+        config = DirtinessConfig.clean()
+        rng = random.Random(0)
+        record = {"a": "some text value", "b": 42}
+        assert corrupt_record(record, config, rng) == record
+
+    def test_skip_columns(self):
+        config = DirtinessConfig(missing_rate=1.0)
+        record = corrupt_record({"id": "a1", "v": "x"}, config, random.Random(0), skip_columns={"id"})
+        assert record["id"] == "a1"
+        assert record["v"] is None
+
+
+class TestEntities:
+    @pytest.mark.parametrize("name", sorted(entities.FACTORIES))
+    def test_factories_produce_records(self, name):
+        rng = random.Random(0)
+        record = entities.FACTORIES[name](rng)
+        assert record
+        assert all(value is not None for value in record.values())
+
+    def test_vendor_brazilian(self):
+        record = entities.vendor(random.Random(0), brazilian=True)
+        assert record["country"] == "Brazil"
+
+    def test_book_has_isbn_and_pages(self):
+        record = entities.book(random.Random(0))
+        assert record["isbn"].startswith("978")
+        assert isinstance(record["pages"], int)
+
+
+class TestGenerator:
+    def test_sizes_and_gold(self):
+        ds = make_em_dataset(entities.person, 50, 60, match_fraction=0.4, seed=0)
+        assert ds.ltable.num_rows == 50
+        assert ds.rtable.num_rows == 60
+        assert len(ds.gold_pairs) == 20
+
+    def test_gold_is_one_to_one(self):
+        ds = make_em_dataset(entities.person, 80, 80, match_fraction=0.6, seed=1)
+        lefts = [a for a, _ in ds.gold_pairs]
+        rights = [b for _, b in ds.gold_pairs]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_gold_ids_exist(self):
+        ds = make_em_dataset(entities.person, 40, 40, seed=2)
+        l_ids = set(ds.ltable.column("id"))
+        r_ids = set(ds.rtable.column("id"))
+        assert all(a in l_ids and b in r_ids for a, b in ds.gold_pairs)
+
+    def test_deterministic(self):
+        a = make_em_dataset(entities.person, 30, 30, seed=3)
+        b = make_em_dataset(entities.person, 30, 30, seed=3)
+        assert a.ltable == b.ltable
+        assert a.gold_pairs == b.gold_pairs
+
+    def test_clean_matches_are_identical_records(self):
+        ds = make_em_dataset(
+            entities.person, 30, 30, match_fraction=1.0,
+            dirtiness=DirtinessConfig.clean(), seed=4,
+        )
+        l_index = ds.ltable.index_by("id")
+        r_index = ds.rtable.index_by("id")
+        for a, b in ds.gold_pairs:
+            l_row = {k: v for k, v in l_index[a].items() if k != "id"}
+            r_row = {k: v for k, v in r_index[b].items() if k != "id"}
+            assert l_row == r_row
+
+    def test_match_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_em_dataset(entities.person, 10, 10, match_fraction=1.5)
+
+    def test_register_sets_keys(self):
+        from repro.catalog import get_catalog
+
+        ds = make_em_dataset(entities.person, 10, 10, seed=0)
+        assert get_catalog().get_key(ds.ltable) == "id"
+
+    def test_string_dataset(self):
+        strings = [f"value number {i}" for i in range(40)]
+        ds = make_string_dataset(strings, match_fraction=0.5, seed=0)
+        assert ds.ltable.columns == ["id", "value"]
+        assert len(ds.gold_pairs) == 20
+
+
+class TestScenarios:
+    def test_eight_pymatcher_deployments(self):
+        assert len(PYMATCHER_SCENARIOS) == 8
+
+    def test_thirteen_cloudmatcher_tasks(self):
+        assert len(CLOUDMATCHER_SCENARIOS) == 13
+
+    def test_lookup(self):
+        assert pymatcher_scenario("land_use_uw").organization == "Land Use (UW)"
+        assert cloudmatcher_scenario("vehicles").domain == "vehicle"
+        with pytest.raises(KeyError):
+            pymatcher_scenario("nope")
+        with pytest.raises(KeyError):
+            cloudmatcher_scenario("nope")
+
+    def test_build_pymatcher_dataset(self):
+        ds = build_pymatcher_dataset(pymatcher_scenario("recruit"))
+        assert ds.ltable.num_rows == 800
+        assert len(ds.gold_pairs) > 0
+
+    def test_vendors_have_generic_addresses(self):
+        ds = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors"))
+        addresses = ds.rtable.column("address") + ds.ltable.column("address")
+        assert addresses.count(GENERIC_ADDRESS) > 20
+
+    def test_no_brazil_variant_removes_brazil(self):
+        ds = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors_no_brazil"))
+        assert "Brazil" not in ds.ltable.unique_values("country")
+        assert "Brazil" not in ds.rtable.unique_values("country")
+        assert len(ds.gold_pairs) > 0
+
+    def test_no_brazil_gold_is_subset(self):
+        full = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors"))
+        cleaned = build_cloudmatcher_dataset(cloudmatcher_scenario("vendors_no_brazil"))
+        assert cleaned.gold_pairs <= full.gold_pairs
+
+    def test_vehicles_hard_pairs_recorded(self):
+        ds = build_cloudmatcher_dataset(cloudmatcher_scenario("vehicles"))
+        assert "hard_pairs" in ds.notes
+        assert ds.notes["hard_pairs"] <= ds.gold_pairs
+        assert len(ds.notes["hard_pairs"]) > 0

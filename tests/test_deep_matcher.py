@@ -1,0 +1,77 @@
+"""Tests for the DeepMatcher substitute (numpy MLP over raw text)."""
+
+import numpy as np
+import pytest
+
+from repro.blocking import OverlapBlocker
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.matchers import DeepMatcher
+
+
+@pytest.fixture
+def labeled_candset(small_person_dataset):
+    ds = small_person_dataset
+    candset = OverlapBlocker("name", overlap_size=1).block_tables(
+        ds.ltable, ds.rtable, "id", "id"
+    )
+    labels = [
+        1 if pair in ds.gold_pairs else 0
+        for pair in zip(candset["ltable_id"], candset["rtable_id"])
+    ]
+    candset.add_column("label", labels)
+    return ds, candset
+
+
+class TestDeepMatcher:
+    def test_learns_textual_matching(self, labeled_candset):
+        ds, candset = labeled_candset
+        matcher = DeepMatcher(attributes=["name", "city"], epochs=80, random_state=0)
+        matcher.fit(candset)
+        result = matcher.predict(candset, append=False, output_column="p")
+        gold = np.array(candset.column("label"))
+        predicted = np.array(result.column("p"))
+        tp = int(np.sum((gold == 1) & (predicted == 1)))
+        precision = tp / max(int(predicted.sum()), 1)
+        recall = tp / max(int(gold.sum()), 1)
+        assert precision > 0.8
+        assert recall > 0.6
+
+    def test_predict_before_fit(self, labeled_candset):
+        _, candset = labeled_candset
+        with pytest.raises(NotFittedError):
+            DeepMatcher(attributes=["name"]).predict(candset)
+
+    def test_proba_in_unit_interval(self, labeled_candset):
+        _, candset = labeled_candset
+        matcher = DeepMatcher(attributes=["name"], epochs=20, random_state=0)
+        matcher.fit(candset)
+        proba = matcher.predict_proba(candset)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_deterministic_given_seed(self, labeled_candset):
+        _, candset = labeled_candset
+        a = DeepMatcher(attributes=["name"], epochs=15, random_state=5).fit(candset)
+        b = DeepMatcher(attributes=["name"], epochs=15, random_state=5).fit(candset)
+        assert np.allclose(a.predict_proba(candset), b.predict_proba(candset))
+
+    def test_requires_attributes(self):
+        with pytest.raises(ConfigurationError):
+            DeepMatcher(attributes=[])
+
+    def test_handles_missing_values(self, small_person_dataset):
+        ds = small_person_dataset
+        # knock out some names
+        names = list(ds.rtable.column("name"))
+        names[0] = None
+        ds.rtable.add_column("name", names)
+        candset = OverlapBlocker("city", overlap_size=1).block_tables(
+            ds.ltable, ds.rtable, "id", "id"
+        )
+        labels = [
+            1 if pair in ds.gold_pairs else 0
+            for pair in zip(candset["ltable_id"], candset["rtable_id"])
+        ]
+        candset.add_column("label", labels)
+        matcher = DeepMatcher(attributes=["name"], epochs=10, random_state=0)
+        matcher.fit(candset)  # must not crash on None
+        assert matcher.predict_proba(candset).shape[0] == candset.num_rows

@@ -1,0 +1,17 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.table.table
+import repro.text.tokenizers
+
+MODULES = [repro.table.table, repro.text.tokenizers]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,87 @@
+"""Tests for the exception hierarchy and top-level package API."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetExhaustedError,
+    CatalogError,
+    ConfigurationError,
+    ForeignKeyConstraintError,
+    KeyConstraintError,
+    LabelingError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ServiceError,
+    WorkflowError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            CatalogError,
+            ConfigurationError,
+            ForeignKeyConstraintError,
+            KeyConstraintError,
+            LabelingError,
+            NotFittedError,
+            SchemaError,
+            ServiceError,
+            WorkflowError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_budget_is_labeling_error(self):
+        assert issubclass(BudgetExhaustedError, LabelingError)
+
+    def test_catchable_as_base(self):
+        from repro.table import Table
+
+        with pytest.raises(ReproError):
+            Table({"id": [1, 1]}).validate_key("id")
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_table_exported(self):
+        assert repro.Table is not None
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_every_subpackage_importable(self):
+        import importlib
+
+        for package in (
+            "repro.table", "repro.catalog", "repro.text", "repro.simjoin",
+            "repro.ml", "repro.sampling", "repro.blocking", "repro.features",
+            "repro.matchers", "repro.labeling", "repro.crowd", "repro.falcon",
+            "repro.smurf", "repro.cloud", "repro.pipeline", "repro.datasets",
+            "repro.cleaning", "repro.postprocess", "repro.schema_matching",
+            "repro.reporting",
+        ):
+            module = importlib.import_module(package)
+            assert hasattr(module, "__all__"), package
+
+    def test_subpackage_all_entries_exist(self):
+        import importlib
+
+        for package in (
+            "repro.table", "repro.catalog", "repro.text", "repro.simjoin",
+            "repro.ml", "repro.sampling", "repro.blocking", "repro.features",
+            "repro.matchers", "repro.labeling", "repro.crowd", "repro.falcon",
+            "repro.smurf", "repro.cloud", "repro.pipeline", "repro.datasets",
+            "repro.cleaning", "repro.postprocess", "repro.schema_matching",
+            "repro.reporting",
+        ):
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, f"{package}.{name}"

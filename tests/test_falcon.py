@@ -1,0 +1,233 @@
+"""Tests for Falcon: active learning, rule extraction, end-to-end runs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DirtinessConfig,
+    build_cloudmatcher_dataset,
+    cloudmatcher_scenario,
+    make_em_dataset,
+)
+from repro.datasets.entities import book, restaurant
+from repro.exceptions import BudgetExhaustedError, ConfigurationError
+from repro.falcon import (
+    FalconConfig,
+    active_learn_forest,
+    evaluate_rules,
+    extract_rules_from_forest,
+    extract_rules_from_tree,
+    rule_fires,
+    run_falcon,
+    select_precise_rules,
+)
+from repro.features import (
+    extract_feature_vecs,
+    feature_matrix,
+    get_features_for_blocking,
+)
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+def _pool(n=300, seed=0):
+    """A synthetic active-learning pool: 2 features, separable."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 2))
+    labels = (X[:, 0] + X[:, 1] > 1.2).astype(int)
+    pairs = [(f"a{i}", f"b{i}") for i in range(n)]
+    gold = {pairs[i] for i in range(n) if labels[i] == 1}
+    return pairs, X, gold
+
+
+class TestActiveLearning:
+    def test_learns_with_few_labels(self):
+        pairs, X, gold = _pool()
+        session = LabelingSession(OracleLabeler(gold))
+        result = active_learn_forest(
+            pairs, X, session, n_trees=8, seed_size=16, batch_size=8,
+            max_iterations=8, random_state=0,
+        )
+        assert result.questions < len(pairs) / 2
+        predictions = result.forest.predict(X)
+        truth = np.array([1 if p in gold else 0 for p in pairs])
+        accuracy = float(np.mean(predictions == truth))
+        assert accuracy > 0.9
+
+    def test_respects_stage_budget(self):
+        pairs, X, gold = _pool()
+        session = LabelingSession(OracleLabeler(gold))
+        result = active_learn_forest(
+            pairs, X, session, max_questions=25, random_state=0
+        )
+        assert result.questions <= 25
+
+    def test_respects_session_budget(self):
+        pairs, X, gold = _pool()
+        session = LabelingSession(OracleLabeler(gold), budget=30)
+        result = active_learn_forest(pairs, X, session, random_state=0)
+        assert session.questions_asked <= 30
+
+    def test_empty_pool_rejected(self):
+        session = LabelingSession(OracleLabeler(set()))
+        with pytest.raises(ConfigurationError):
+            active_learn_forest([], np.zeros((0, 2)), session)
+
+    def test_mismatched_shapes_rejected(self):
+        session = LabelingSession(OracleLabeler(set()))
+        with pytest.raises(ConfigurationError):
+            active_learn_forest([("a", "b")], np.zeros((2, 2)), session)
+
+    def test_no_budget_at_all(self):
+        pairs, X, gold = _pool(n=10)
+        session = LabelingSession(OracleLabeler(gold), budget=5)
+        session.ask_many(pairs[:5])  # exhaust budget
+        with pytest.raises(BudgetExhaustedError):
+            active_learn_forest(pairs[5:], X[5:], session, random_state=0)
+
+    def test_nan_features_tolerated(self):
+        pairs, X, gold = _pool(n=100)
+        X = X.copy()
+        X[::7, 0] = np.nan
+        session = LabelingSession(OracleLabeler(gold))
+        result = active_learn_forest(pairs, X, session, random_state=0)
+        assert result.forest.is_fitted
+
+
+class TestRuleExtraction:
+    def _fitted_tree(self):
+        # feature 0 is the decisive one: label = f0 > 0.5
+        rng = np.random.default_rng(3)
+        X = rng.random((200, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        ds = make_em_dataset(book, 10, 10, seed=0)
+        features = get_features_for_blocking(ds.ltable, ds.rtable)
+        names = features.names()[:2]
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y, feature_names=names)
+        return tree, features, names, X, y
+
+    def test_tree_rules_end_in_negative_leaves(self):
+        tree, features, names, X, y = self._fitted_tree()
+        rules = extract_rules_from_tree(tree, features)
+        assert rules
+        fired_any = np.zeros(len(y), dtype=bool)
+        for rule in rules:
+            mask = rule_fires(rule, X, names)
+            # every pair a rule fires on is predicted negative by the tree
+            assert np.all(tree.predict(X[mask]) == 0)
+            fired_any |= mask
+        # rules cover exactly the tree's negative predictions
+        assert np.array_equal(fired_any, tree.predict(X) == 0)
+
+    def test_forest_rules_deduplicated(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((150, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        ds = make_em_dataset(book, 10, 10, seed=0)
+        features = get_features_for_blocking(ds.ltable, ds.rtable)
+        names = features.names()[:2]
+        forest = RandomForestClassifier(n_estimators=6, random_state=0).fit(
+            X, y, feature_names=names
+        )
+        rules = extract_rules_from_forest(forest, features)
+        signatures = [" AND ".join(str(p) for p in r.predicates) for r in rules]
+        assert len(signatures) == len(set(signatures))
+
+    def test_evaluate_and_select(self):
+        tree, features, names, X, y = self._fitted_tree()
+        rules = extract_rules_from_tree(tree, features)
+        evaluations = evaluate_rules(rules, X, y, names)
+        for evaluation in evaluations:
+            assert 0.0 <= evaluation.precision <= 1.0
+            assert evaluation.coverage >= 0
+        selected = select_precise_rules(
+            evaluations, min_precision=0.9, min_coverage=5, require_executable=False
+        )
+        for rule in selected:
+            evaluation = next(e for e in evaluations if e.rule is rule)
+            assert evaluation.precision >= 0.9
+            assert evaluation.coverage >= 5
+
+    def test_max_rules_cap(self):
+        tree, features, names, X, y = self._fitted_tree()
+        evaluations = evaluate_rules(extract_rules_from_tree(tree, features), X, y, names)
+        selected = select_precise_rules(
+            evaluations, min_precision=0.0, min_coverage=0,
+            max_rules=1, require_executable=False,
+        )
+        assert len(selected) <= 1
+
+
+class TestFalconEndToEnd:
+    def test_restaurants_high_accuracy(self):
+        ds = make_em_dataset(
+            restaurant, 250, 250, match_fraction=0.5,
+            dirtiness=DirtinessConfig.light(), seed=10, name="falcon-test",
+        )
+        session = LabelingSession(OracleLabeler(ds.gold_pairs), budget=500)
+        result = run_falcon(
+            ds, session,
+            FalconConfig(sample_size=700, blocking_budget=120, matching_budget=220,
+                         random_state=0),
+        )
+        predicted = result.match_pairs
+        tp = len(predicted & ds.gold_pairs)
+        precision = tp / len(predicted) if predicted else 0.0
+        recall = tp / len(ds.gold_pairs)
+        assert precision > 0.85
+        assert recall > 0.7
+        assert result.questions <= 500
+        assert result.candset.num_rows < ds.ltable.num_rows * ds.rtable.num_rows / 10
+
+    def test_rules_are_executable_and_named(self):
+        ds = make_em_dataset(
+            restaurant, 200, 200, dirtiness=DirtinessConfig.light(), seed=11,
+        )
+        session = LabelingSession(OracleLabeler(ds.gold_pairs), budget=400)
+        result = run_falcon(ds, session, FalconConfig(sample_size=500, random_state=1))
+        for rule in result.rules:
+            assert rule.is_executable
+            assert rule.name
+
+    def test_questions_accounting(self):
+        ds = make_em_dataset(
+            restaurant, 150, 150, dirtiness=DirtinessConfig.light(), seed=12,
+        )
+        session = LabelingSession(OracleLabeler(ds.gold_pairs), budget=400)
+        result = run_falcon(ds, session, FalconConfig(sample_size=400, random_state=2))
+        assert result.questions == session.questions_asked
+        assert (
+            result.blocking_stage.questions + result.matching_stage.questions
+            == result.questions
+        )
+
+    def test_alpha_affects_match_count(self):
+        ds = make_em_dataset(
+            restaurant, 150, 150, dirtiness=DirtinessConfig.light(), seed=13,
+        )
+
+        def falcon_with_alpha(alpha):
+            session = LabelingSession(OracleLabeler(ds.gold_pairs), budget=400)
+            config = FalconConfig(sample_size=400, alpha=alpha, random_state=3)
+            return run_falcon(ds, session, config).matches.num_rows
+
+        assert falcon_with_alpha(0.9) <= falcon_with_alpha(0.3)
+
+    def test_scenario_vehicles_worse_than_clean(self):
+        """The dirty-data story: Vehicles accuracy < a comparable clean task."""
+        from repro.labeling import UncertainOracleLabeler
+
+        vehicles = build_cloudmatcher_dataset(cloudmatcher_scenario("vehicles"))
+        labeler = UncertainOracleLabeler(
+            vehicles.gold_pairs, vehicles.notes["hard_pairs"], seed=0
+        )
+        session = LabelingSession(labeler, budget=600)
+        result = run_falcon(
+            vehicles, session,
+            FalconConfig(sample_size=800, blocking_budget=150, matching_budget=300,
+                         random_state=0),
+        )
+        predicted = result.match_pairs
+        tp = len(predicted & vehicles.gold_pairs)
+        recall = tp / len(vehicles.gold_pairs)
+        assert recall < 0.9  # visibly degraded vs the clean scenarios

@@ -1,0 +1,91 @@
+"""Focused tests for Falcon's rule-selection policy knobs."""
+
+import numpy as np
+
+from repro.blocking.rules import BlockingRule, Predicate
+from repro.falcon import evaluate_rules, select_precise_rules
+from repro.features import FeatureTable, make_exact_feature, make_string_feature
+from repro.text.sim.edit_based import Levenshtein
+
+
+def make_rules():
+    """One executable rule and one inherently non-executable rule."""
+    exact = make_exact_feature("isbn_exact", "isbn", "isbn")
+    edit = make_string_feature("title_lev", "title", "title", Levenshtein(), "lev_sim")
+    executable = BlockingRule((Predicate(exact, "<=", 0.5),), name="exe")
+    not_executable = BlockingRule((Predicate(edit, "<=", 0.5),), name="noexe")
+    return FeatureTable([exact, edit]), [executable, not_executable]
+
+
+def labeled_data():
+    # columns: isbn_exact, title_lev; rows crafted so both rules fire on
+    # exactly the non-matches.
+    X = np.array(
+        [
+            [0.0, 0.2],  # non-match: both rules fire
+            [0.0, 0.3],  # non-match
+            [0.0, 0.1],  # non-match
+            [1.0, 0.9],  # match: neither fires
+            [1.0, 0.95],  # match
+        ]
+    )
+    y = np.array([0, 0, 0, 1, 1])
+    return X, y
+
+
+class TestSelectPreciseRules:
+    def test_executable_filter_on(self):
+        features, rules = make_rules()
+        X, y = labeled_data()
+        evaluations = evaluate_rules(rules, X, y, ["isbn_exact", "title_lev"])
+        kept = select_precise_rules(
+            evaluations, min_precision=0.9, min_coverage=2, require_executable=True
+        )
+        assert [rule.name for rule in kept] == ["exe"]
+
+    def test_executable_filter_off(self):
+        features, rules = make_rules()
+        X, y = labeled_data()
+        evaluations = evaluate_rules(rules, X, y, ["isbn_exact", "title_lev"])
+        kept = select_precise_rules(
+            evaluations, min_precision=0.9, min_coverage=2, require_executable=False
+        )
+        assert {rule.name for rule in kept} == {"exe", "noexe"}
+
+    def test_precision_threshold(self):
+        features, rules = make_rules()
+        X, y = labeled_data()
+        # Mislabel a fired row as a match: rule precision drops to 2/3.
+        y = y.copy()
+        y[0] = 1
+        evaluations = evaluate_rules(rules, X, y, ["isbn_exact", "title_lev"])
+        kept = select_precise_rules(
+            evaluations, min_precision=0.9, min_coverage=1, require_executable=False
+        )
+        assert kept == []
+        kept_loose = select_precise_rules(
+            evaluations, min_precision=0.5, min_coverage=1, require_executable=False
+        )
+        assert kept_loose
+
+    def test_coverage_threshold(self):
+        features, rules = make_rules()
+        X, y = labeled_data()
+        evaluations = evaluate_rules(rules, X, y, ["isbn_exact", "title_lev"])
+        assert select_precise_rules(
+            evaluations, min_precision=0.9, min_coverage=99
+        ) == []
+
+    def test_ranked_by_precision_then_coverage(self):
+        features, rules = make_rules()
+        X, y = labeled_data()
+        evaluations = evaluate_rules(rules, X, y, ["isbn_exact", "title_lev"])
+        kept = select_precise_rules(
+            evaluations, min_precision=0.0, min_coverage=0,
+            require_executable=False, max_rules=None,
+        )
+        precisions = []
+        for rule in kept:
+            evaluation = next(e for e in evaluations if e.rule is rule)
+            precisions.append(evaluation.precision)
+        assert precisions == sorted(precisions, reverse=True)

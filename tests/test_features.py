@@ -1,0 +1,220 @@
+"""Tests for feature objects, generation, and extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.blocking import OverlapBlocker, make_candset
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.features import (
+    FeatureTable,
+    extract_feature_vecs,
+    feature_matrix,
+    get_attr_corres,
+    get_features_for_blocking,
+    get_features_for_matching,
+    label_vector,
+    make_blackbox_feature,
+    make_exact_feature,
+    make_string_feature,
+    make_token_feature,
+)
+from repro.ml import SimpleImputer
+from repro.table import Table
+from repro.text.sim import Jaccard, Levenshtein
+from repro.text.tokenizers import WhitespaceTokenizer
+
+
+class TestFeatureObjects:
+    def test_token_feature(self):
+        feature = make_token_feature(
+            "f", "name", "name", WhitespaceTokenizer(return_set=True), Jaccard(), "jaccard"
+        )
+        assert feature("dave smith", "dave smith") == 1.0
+        assert feature("dave smith", "joe wilson") == 0.0
+        assert math.isnan(feature(None, "x"))
+        assert feature.is_join_executable
+
+    def test_token_feature_case_insensitive(self):
+        feature = make_token_feature(
+            "f", "v", "v", WhitespaceTokenizer(return_set=True), Jaccard(), "jaccard"
+        )
+        assert feature("Dave", "dave") == 1.0
+
+    def test_string_feature(self):
+        feature = make_string_feature("f", "v", "v", Levenshtein(), "lev_sim")
+        assert feature("abc", "abc") == 1.0
+        assert not feature.is_join_executable
+
+    def test_exact_feature(self):
+        feature = make_exact_feature("f", "v", "v")
+        assert feature(3, 3) == 1.0
+        assert feature("A", "a") == 1.0  # case-insensitive on strings
+        assert feature(3, 4) == 0.0
+        assert math.isnan(feature(None, 3))
+
+    def test_blackbox_feature(self):
+        feature = make_blackbox_feature("f", "a", "b", lambda x, y: 0.42)
+        assert feature(1, 2) == 0.42
+        assert not feature.is_join_executable
+
+    def test_apply_rows(self):
+        feature = make_exact_feature("f", "left_col", "right_col")
+        assert feature.apply_rows({"left_col": 1}, {"right_col": 1}) == 1.0
+
+    def test_invalid_sim_kind(self):
+        from repro.features.feature import Feature
+
+        with pytest.raises(ConfigurationError):
+            Feature("f", "a", "b", "bogus", "m", lambda x, y: 0.0)
+
+
+class TestFeatureTable:
+    def test_add_remove(self):
+        table = FeatureTable()
+        feature = make_exact_feature("f1", "a", "a")
+        table.add(feature)
+        assert "f1" in table
+        assert len(table) == 1
+        table.remove("f1")
+        assert len(table) == 0
+
+    def test_duplicate_name_rejected(self):
+        table = FeatureTable([make_exact_feature("f1", "a", "a")])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            table.add(make_exact_feature("f1", "b", "b"))
+
+    def test_remove_missing(self):
+        with pytest.raises(ConfigurationError):
+            FeatureTable().remove("nope")
+
+    def test_get_missing(self):
+        with pytest.raises(ConfigurationError):
+            FeatureTable().get("nope")
+
+    def test_subset(self):
+        table = FeatureTable(
+            [make_exact_feature("f1", "a", "a"), make_exact_feature("f2", "b", "b")]
+        )
+        sub = table.subset(["f2"])
+        assert sub.names() == ["f2"]
+
+
+class TestGeneration:
+    def test_attr_corres_same_names(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        assert get_attr_corres(table_a, table_b) == [
+            ("name", "name"),
+            ("city", "city"),
+            ("state", "state"),
+        ]
+
+    def test_matching_features_per_type(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        features = get_features_for_matching(table_a, table_b)
+        names = features.names()
+        # medium string 'name' gets token features
+        assert "name_jaccard_ws" in names
+        # short string 'state' gets edit features
+        assert "state_lev_sim" in names
+
+    def test_numeric_features(self):
+        table_a = Table({"id": [1], "price": [10.0]})
+        table_b = Table({"id": [2], "price": [12.0]})
+        features = get_features_for_matching(table_a, table_b)
+        assert "price_rel_diff" in features.names()
+        assert "price_abs_norm" in features.names()
+
+    def test_no_corres_raises(self):
+        table_a = Table({"id": [1], "x": ["a"]})
+        table_b = Table({"id": [2], "y": ["a"]})
+        with pytest.raises(SchemaError):
+            get_features_for_matching(table_a, table_b)
+
+    def test_explicit_corres(self):
+        table_a = Table({"id": [1], "x": ["dave smith"]})
+        table_b = Table({"id": [2], "y": ["dave smith"]})
+        features = get_features_for_matching(
+            table_a, table_b, attr_corres=[("x", "y")]
+        )
+        assert any("x_y" in name for name in features.names())
+
+    def test_blocking_features_all_executable(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        features = get_features_for_blocking(table_a, table_b)
+        assert len(features) > 0
+        assert all(feature.is_join_executable for feature in features)
+
+
+class TestExtraction:
+    def _fv(self, figure1_tables, label=False):
+        table_a, table_b, gold = figure1_tables
+        candset = OverlapBlocker("name", overlap_size=1).block_tables(
+            table_a, table_b, "id", "id"
+        )
+        if label:
+            labels = [
+                1 if pair in gold else 0
+                for pair in zip(candset["ltable_id"], candset["rtable_id"])
+            ]
+            candset.add_column("label", labels)
+        features = get_features_for_matching(table_a, table_b)
+        return candset, features
+
+    def test_extract_shapes(self, figure1_tables):
+        candset, features = self._fv(figure1_tables)
+        fv = extract_feature_vecs(candset, features)
+        assert fv.num_rows == candset.num_rows
+        assert set(features.names()) <= set(fv.columns)
+        assert "_id" in fv.columns
+        assert "ltable_id" in fv.columns
+
+    def test_label_passthrough(self, figure1_tables):
+        candset, features = self._fv(figure1_tables, label=True)
+        fv = extract_feature_vecs(candset, features, label_column="label")
+        assert "label" in fv.columns
+        assert list(label_vector(fv)) == candset.column("label")
+
+    def test_identical_values_score_one(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        candset = make_candset([("a1", "b1")], table_a, table_b, "id", "id")
+        features = get_features_for_matching(table_a, table_b)
+        fv = extract_feature_vecs(candset, features)
+        # a1 and b1 share city Madison and state WI exactly.
+        assert fv.column("city_exact") == [1.0]
+        assert fv.column("state_exact") == [1.0]
+
+    def test_missing_value_gives_nan(self):
+        table_a = Table({"id": [1], "name": [None]})
+        table_b = Table({"id": [2], "name": ["dave smith"]})
+        candset = make_candset([(1, 2)], table_a, table_b, "id", "id")
+        features = get_features_for_matching(table_a, table_b)
+        fv = extract_feature_vecs(candset, features)
+        assert math.isnan(fv.column("name_jaccard_ws")[0])
+
+    def test_feature_matrix_imputes(self):
+        fv = Table({"f1": [0.5, float("nan")], "f2": [1.0, 0.0]})
+        matrix = feature_matrix(fv, ["f1", "f2"])
+        assert not np.any(np.isnan(matrix))
+        assert matrix[1, 0] == 0.5  # mean of the column
+
+    def test_feature_matrix_no_impute(self):
+        fv = Table({"f1": [float("nan")]})
+        matrix = feature_matrix(fv, ["f1"], impute=False)
+        assert np.isnan(matrix[0, 0])
+
+    def test_feature_matrix_prefit_imputer(self):
+        imputer = SimpleImputer().fit(np.array([[10.0]]))
+        fv = Table({"f1": [float("nan")]})
+        matrix = feature_matrix(fv, ["f1"], imputer=imputer)
+        assert matrix[0, 0] == 10.0
+
+    def test_extract_validates_metadata(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        features = get_features_for_matching(table_a, table_b)
+        naked = Table({"_id": [0], "ltable_id": ["a1"], "rtable_id": ["b1"]})
+        from repro.exceptions import CatalogError
+
+        with pytest.raises(CatalogError):
+            extract_feature_vecs(naked, features)

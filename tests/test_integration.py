@@ -1,0 +1,114 @@
+"""Integration tests: the full PyMatcher guide workflow, end to end.
+
+This is Figure 2 of the paper as a test: down-sample -> block -> sample ->
+label -> features -> cross-validate matchers -> predict -> evaluate.
+"""
+
+import pytest
+
+from repro.blocking import OverlapBlocker, blocking_recall, candset_union
+from repro.catalog import get_catalog
+from repro.datasets import DirtinessConfig, make_em_dataset
+from repro.datasets.entities import restaurant
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.labeling import LabelingSession, OracleLabeler
+from repro.matchers import DTMatcher, RFMatcher, eval_matches, select_matcher
+from repro.pipeline import MagellanWorkflow
+from repro.sampling import down_sample, weighted_sample_candset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_em_dataset(
+        restaurant, 400, 400, match_fraction=0.5,
+        dirtiness=DirtinessConfig.light(), seed=99, name="integration",
+    )
+
+
+def test_guide_workflow_end_to_end(dataset):
+    ds = dataset
+    ds.register()
+
+    # Step 1: down-sample (tables here are small; exercise the call anyway).
+    l_dev, r_dev = down_sample(ds.ltable, ds.rtable, 300, seed=0)
+    assert l_dev.num_rows <= ds.ltable.num_rows
+
+    # Step 2: block, combining two blockers as the guide suggests.
+    by_name = OverlapBlocker("name", overlap_size=1).block_tables(
+        ds.ltable, ds.rtable, "id", "id"
+    )
+    by_street = OverlapBlocker("street", overlap_size=2).block_tables(
+        ds.ltable, ds.rtable, "id", "id"
+    )
+    candset = candset_union(by_name, by_street)
+    assert blocking_recall(candset, ds.gold_pairs) > 0.9
+
+    # Step 3-4: sample and label.  The sample must contain enough
+    # borderline non-matches for the learner to place the boundary; 600
+    # labels is within the paper's reported labeling effort.
+    sample = weighted_sample_candset(candset, 600, seed=0)
+    session = LabelingSession(OracleLabeler(ds.gold_pairs))
+    session.label_candset(sample)
+    assert 0 < sum(sample["label"]) < sample.num_rows
+
+    # Step 5: features + vectors.
+    features = get_features_for_matching(ds.ltable, ds.rtable)
+    fv = extract_feature_vecs(sample, features, label_column="label")
+
+    # Step 6: cross-validate matchers and pick the best (the paper's
+    # example selects matcher V with F1 = 0.93; we assert the same band).
+    selection = select_matcher(
+        [DTMatcher(), RFMatcher(n_estimators=10, random_state=0)],
+        fv, features.names(), n_splits=4,
+    )
+    assert selection.best_score > 0.85
+
+    # Step 7: predict on the full candidate set and evaluate against gold.
+    fv_all = extract_feature_vecs(candset, features)
+    predictions = selection.best_matcher.predict(fv_all)
+    meta = get_catalog().get_candset_metadata(candset)
+    gold_labels = [
+        1 if pair in ds.gold_pairs else 0
+        for pair in zip(candset[meta.fk_ltable], candset[meta.fk_rtable])
+    ]
+    predictions.add_column("label", gold_labels)
+    report = eval_matches(predictions)
+    assert report["precision"] > 0.85
+    assert report["recall"] > 0.8
+    assert report["f1"] > 0.85
+
+
+def test_guide_workflow_as_captured_script(dataset):
+    """The production stage: the same workflow captured as a script object."""
+    ds = dataset
+    ds.register()
+    workflow = MagellanWorkflow("production-em")
+
+    def block(art):
+        art["candset"] = OverlapBlocker("name", overlap_size=1).block_tables(
+            ds.ltable, ds.rtable, "id", "id"
+        )
+
+    def label_sample(art):
+        sample = weighted_sample_candset(art["candset"], 250, seed=1)
+        LabelingSession(OracleLabeler(ds.gold_pairs)).label_candset(sample)
+        art["sample"] = sample
+
+    def train(art):
+        features = get_features_for_matching(ds.ltable, ds.rtable)
+        fv = extract_feature_vecs(art["sample"], features, label_column="label")
+        matcher = RFMatcher(n_estimators=10, random_state=0).fit(fv, features.names())
+        art["features"], art["matcher"] = features, matcher
+
+    def predict(art):
+        fv_all = extract_feature_vecs(art["candset"], art["features"])
+        art["predictions"] = art["matcher"].predict(fv_all, append=False)
+
+    workflow.add_step("block", block)
+    workflow.add_step("label", label_sample)
+    workflow.add_step("train", train)
+    workflow.add_step("predict", predict)
+    artifacts = workflow.run()
+    assert "predicted" in artifacts["predictions"].columns
+    assert len(workflow.records) == 4
+    assert all(record.ok for record in workflow.records)

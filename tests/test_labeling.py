@@ -1,0 +1,158 @@
+"""Tests for labelers, sessions (budget/undo), and the crowd simulation."""
+
+import pytest
+
+from repro.blocking import make_candset
+from repro.crowd import CrowdLabeler
+from repro.exceptions import BudgetExhaustedError, LabelingError
+from repro.labeling import (
+    MATCH,
+    NO_MATCH,
+    LabelingSession,
+    OracleLabeler,
+    UncertainOracleLabeler,
+)
+
+GOLD = {("a1", "b1"), ("a3", "b2")}
+
+
+class TestOracle:
+    def test_perfect_oracle(self):
+        oracle = OracleLabeler(GOLD)
+        assert oracle.label(("a1", "b1")) == MATCH
+        assert oracle.label(("a2", "b1")) == NO_MATCH
+        assert oracle.questions_asked == 2
+
+    def test_labeling_time(self):
+        oracle = OracleLabeler(GOLD, seconds_per_label=10)
+        oracle.label(("a1", "b1"))
+        oracle.label(("a2", "b1"))
+        assert oracle.labeling_seconds == 20.0
+
+    def test_noisy_oracle_flips_some(self):
+        oracle = OracleLabeler(GOLD, noise_rate=1.0, seed=0)
+        assert oracle.label(("a1", "b1")) == NO_MATCH  # always flipped
+
+    def test_noise_rate_validation(self):
+        with pytest.raises(ValueError):
+            OracleLabeler(GOLD, noise_rate=2.0)
+
+    def test_uncertain_oracle_on_hard_pairs(self):
+        hard = {("a1", "b1")}
+        labeler = UncertainOracleLabeler(GOLD, hard, hard_match_bias=0.0, seed=1)
+        # hard pair: always answered no-match under bias 0
+        assert labeler.label(("a1", "b1")) == NO_MATCH
+        # easy pair: truthful
+        assert labeler.label(("a3", "b2")) == MATCH
+
+
+class TestSession:
+    def test_caching_no_double_charge(self):
+        session = LabelingSession(OracleLabeler(GOLD))
+        session.ask(("a1", "b1"))
+        session.ask(("a1", "b1"))
+        assert session.questions_asked == 1
+
+    def test_budget_enforced(self):
+        session = LabelingSession(OracleLabeler(GOLD), budget=2)
+        session.ask(("a1", "b1"))
+        session.ask(("a2", "b1"))
+        assert not session.has_budget()
+        with pytest.raises(BudgetExhaustedError):
+            session.ask(("a3", "b2"))
+
+    def test_remaining_budget(self):
+        session = LabelingSession(OracleLabeler(GOLD), budget=5)
+        session.ask(("a1", "b1"))
+        assert session.remaining_budget == 4
+        assert LabelingSession(OracleLabeler(GOLD)).remaining_budget is None
+
+    def test_invalid_budget(self):
+        with pytest.raises(LabelingError):
+            LabelingSession(OracleLabeler(GOLD), budget=0)
+
+    def test_undo_refunds_budget(self):
+        """The AmFam lesson: labels must be retractable."""
+        session = LabelingSession(OracleLabeler(GOLD), budget=2)
+        session.ask(("a1", "b1"))
+        session.ask(("a2", "b1"))
+        retracted = session.undo(1)
+        assert retracted[0].pair == ("a2", "b1")
+        assert session.questions_asked == 1
+        assert session.has_budget()
+        # The retracted pair can be re-asked.
+        session.ask(("a3", "b2"))
+
+    def test_undo_too_many(self):
+        session = LabelingSession(OracleLabeler(GOLD))
+        with pytest.raises(LabelingError):
+            session.undo(1)
+        session.ask(("a1", "b1"))
+        with pytest.raises(LabelingError):
+            session.undo(2)
+        with pytest.raises(LabelingError):
+            session.undo(0)
+
+    def test_relabel(self):
+        session = LabelingSession(OracleLabeler(GOLD, noise_rate=1.0, seed=0))
+        session.ask(("a1", "b1"))  # noisy answer: NO_MATCH
+        session.relabel(("a1", "b1"), MATCH)
+        assert session.labels[("a1", "b1")] == MATCH
+
+    def test_relabel_unknown_pair(self):
+        session = LabelingSession(OracleLabeler(GOLD))
+        with pytest.raises(LabelingError):
+            session.relabel(("a1", "b1"), MATCH)
+
+    def test_label_candset(self, figure1_tables):
+        table_a, table_b, gold = figure1_tables
+        candset = make_candset(
+            [("a1", "b1"), ("a2", "b1"), ("a3", "b2")], table_a, table_b, "id", "id"
+        )
+        session = LabelingSession(OracleLabeler(gold))
+        session.label_candset(candset)
+        assert candset.column("label") == [1, 0, 1]
+
+
+class TestCrowd:
+    def test_majority_vote_beats_single_worker(self):
+        gold = {(f"a{i}", f"b{i}") for i in range(100)}
+        questions = [(f"a{i}", f"b{i}") for i in range(100)] + [
+            (f"a{i}", f"b{i + 1}") for i in range(99)
+        ]
+        replicated = CrowdLabeler(gold, worker_accuracy=0.8, replication=5, seed=0)
+        single = CrowdLabeler(gold, worker_accuracy=0.8, replication=1, seed=0)
+        correct_replicated = sum(
+            replicated.label(q) == (1 if q in gold else 0) for q in questions
+        )
+        correct_single = sum(
+            single.label(q) == (1 if q in gold else 0) for q in questions
+        )
+        assert correct_replicated > correct_single
+
+    def test_cost_accounting(self):
+        crowd = CrowdLabeler(GOLD, replication=3, price_per_assignment=0.02, seed=0)
+        for _ in range(10):
+            crowd.label(("a1", "b1"))
+        assert crowd.assignments == 30
+        assert crowd.dollar_cost == pytest.approx(0.6)
+
+    def test_elapsed_time_grows(self):
+        crowd = CrowdLabeler(GOLD, seed=0)
+        crowd.label(("a1", "b1"))
+        first = crowd.elapsed_seconds
+        crowd.label(("a2", "b1"))
+        assert crowd.elapsed_seconds > first
+
+    def test_validation(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CrowdLabeler(GOLD, replication=0)
+        with pytest.raises(ConfigurationError):
+            CrowdLabeler(GOLD, n_workers=2, replication=3)
+
+    def test_crowd_in_session(self):
+        session = LabelingSession(CrowdLabeler(GOLD, seed=1), budget=10)
+        assert session.ask(("a1", "b1")) in (0, 1)
+        assert session.questions_asked == 1

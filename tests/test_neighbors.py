@@ -1,0 +1,68 @@
+"""Tests for the kNN classifier and matcher."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ml import KNeighborsClassifier
+
+
+def blobs(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(-2, 0.8, (n // 2, 3)), rng.normal(2, 0.8, (n // 2, 3))])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+class TestKNN:
+    def test_separates_blobs(self):
+        X, y = blobs()
+        model = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_k_one_memorizes(self):
+        X, y = blobs(n=40)
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_k_larger_than_training_set(self):
+        X, y = blobs(n=10)
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        proba = model.predict_proba(X)
+        # every row votes with the full training set
+        assert np.allclose(proba, proba[0])
+
+    def test_proba_normalized(self):
+        X, y = blobs()
+        proba = KNeighborsClassifier(n_neighbors=7).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_standardization_makes_scales_irrelevant(self):
+        X, y = blobs()
+        scaled = X.copy()
+        scaled[:, 0] *= 1e6
+        plain = KNeighborsClassifier(n_neighbors=5).fit(X, y).predict(X)
+        rescaled = KNeighborsClassifier(n_neighbors=5).fit(scaled, y).predict(scaled)
+        assert np.array_equal(plain, rescaled)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict([[1.0]])
+        X, y = blobs(n=20)
+        model = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 9)))
+
+    def test_nonstandard_labels(self):
+        X, y01 = blobs(n=60)
+        y = np.where(y01 == 1, 5, 2)
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert set(model.predict(X).tolist()) <= {2, 5}
+
+    def test_knn_matcher_exported(self):
+        from repro.matchers import KNNMatcher
+
+        matcher = KNNMatcher(n_neighbors=3)
+        assert matcher.name == "KNNMatcher"

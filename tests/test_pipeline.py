@@ -1,0 +1,157 @@
+"""Tests for workflow capture, production execution, and the guide."""
+
+import logging
+
+import pytest
+
+from repro.exceptions import ConfigurationError, WorkflowError
+from repro.pipeline import (
+    DEVELOPMENT_GUIDE,
+    PRODUCTION_GUIDE,
+    CheckpointedRun,
+    MagellanWorkflow,
+    command_counts,
+    package_inventory,
+    parallel_map_partitions,
+    partition_table,
+    resolve_command,
+)
+from repro.table import Table
+
+
+def numbers_table(n=20):
+    return Table({"id": list(range(n)), "v": [i * 2 for i in range(n)]})
+
+
+def double_v(part: Table) -> Table:
+    """Module-level so it is picklable for the process pool."""
+    return Table({"id": part.column("id"), "v": [x * 2 for x in part.column("v")]})
+
+
+class TestWorkflowCapture:
+    def test_runs_steps_in_order(self):
+        workflow = MagellanWorkflow("w")
+        workflow.add_step("one", lambda art: art.setdefault("trace", []).append(1))
+        workflow.add_step("two", lambda art: art["trace"].append(2))
+        artifacts = workflow.run()
+        assert artifacts["trace"] == [1, 2]
+        assert all(record.ok for record in workflow.records)
+        assert workflow.total_seconds() >= 0
+
+    def test_duplicate_step_rejected(self):
+        workflow = MagellanWorkflow("w").add_step("a", lambda art: None)
+        with pytest.raises(WorkflowError):
+            workflow.add_step("a", lambda art: None)
+
+    def test_failure_recorded_and_raised(self, caplog):
+        workflow = MagellanWorkflow("w")
+        workflow.add_step("boom", lambda art: 1 / 0)
+        with caplog.at_level(logging.ERROR, logger="repro.pipeline"):
+            with pytest.raises(ZeroDivisionError):
+                workflow.run()
+        assert workflow.records[-1].ok is False
+        assert "ZeroDivisionError" in workflow.records[-1].error
+
+    def test_continue_on_error(self):
+        workflow = MagellanWorkflow("w")
+        workflow.add_step("boom", lambda art: 1 / 0)
+        workflow.add_step("after", lambda art: art.__setitem__("ran", True))
+        artifacts = workflow.run(stop_on_error=False)
+        assert artifacts["ran"] is True
+
+
+class TestPartitioning:
+    def test_partition_covers_all_rows(self):
+        parts = partition_table(numbers_table(23), 4)
+        assert sum(part.num_rows for part in parts) == 23
+        recombined = [v for part in parts for v in part.column("id")]
+        assert recombined == list(range(23))
+
+    def test_partition_more_than_rows(self):
+        parts = partition_table(numbers_table(3), 10)
+        assert sum(part.num_rows for part in parts) == 3
+
+    def test_partition_validation(self):
+        with pytest.raises(ConfigurationError):
+            partition_table(numbers_table(), 0)
+
+    def test_serial_map(self):
+        result = parallel_map_partitions(numbers_table(10), double_v, n_workers=1)
+        assert result.column("v") == [i * 4 for i in range(10)]
+
+    def test_parallel_map_matches_serial(self):
+        table = numbers_table(50)
+        serial = parallel_map_partitions(table, double_v, n_workers=1)
+        parallel = parallel_map_partitions(table, double_v, n_workers=3)
+        assert serial == parallel
+
+    def test_workers_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map_partitions(numbers_table(), double_v, n_workers=0)
+
+
+class TestCheckpointing:
+    def test_full_run_writes_checkpoints(self, tmp_path):
+        run = CheckpointedRun("job1", tmp_path)
+        result = run.execute(numbers_table(12), double_v, n_partitions=3)
+        assert result.column("v") == [i * 4 for i in range(12)]
+        assert run.completed_partitions() == {0, 1, 2}
+        assert (tmp_path / "job1" / "part_0.csv").exists()
+
+    def test_crash_recovery_skips_done_partitions(self, tmp_path):
+        calls = []
+
+        def fn(part: Table) -> Table:
+            calls.append(part.column("id")[0])
+            if len(calls) == 3 and not getattr(fn, "healed", False):
+                raise RuntimeError("simulated crash")
+            return double_v(part)
+
+        run = CheckpointedRun("job2", tmp_path)
+        with pytest.raises(RuntimeError):
+            run.execute(numbers_table(16), fn, n_partitions=4)
+        assert run.completed_partitions() == {0, 1}
+
+        # "Restart the process": resume; partitions 0-1 come from disk.
+        fn.healed = True
+        calls.clear()
+        result = run.execute(numbers_table(16), fn, n_partitions=4)
+        assert result.column("v") == [i * 4 for i in range(16)]
+        assert calls == [8, 12]  # only partitions 2 and 3 recomputed
+
+    def test_resume_with_different_partitioning_rejected(self, tmp_path):
+        run = CheckpointedRun("job3", tmp_path)
+        run.execute(numbers_table(8), double_v, n_partitions=2)
+        with pytest.raises(WorkflowError):
+            run.execute(numbers_table(8), double_v, n_partitions=4)
+
+
+class TestGuide:
+    def test_every_command_resolves(self):
+        for guide in (DEVELOPMENT_GUIDE, PRODUCTION_GUIDE):
+            for step in guide:
+                for command in step.commands:
+                    assert resolve_command(command) is not None
+
+    def test_guide_covers_table3_steps(self):
+        names = [step.name for step in DEVELOPMENT_GUIDE]
+        for expected in (
+            "read_write_data", "down_sample", "data_exploration", "blocking",
+            "sampling", "labeling", "feature_vectors", "matching",
+            "computing_accuracy", "adding_rules", "managing_metadata",
+        ):
+            assert expected in names
+
+    def test_command_counts_positive(self):
+        counts = command_counts()
+        assert all(count > 0 for count in counts.values())
+        assert counts["blocking"] >= 15  # the richest step, as in the paper
+
+    def test_package_inventory(self):
+        inventory = package_inventory()
+        assert "repro.blocking" in inventory
+        assert sum(inventory.values()) >= 60
+
+    def test_steps_have_instructions(self):
+        for step in DEVELOPMENT_GUIDE + PRODUCTION_GUIDE:
+            assert step.instruction

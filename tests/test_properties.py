@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import SimpleImputer, precision_recall_f1
+from repro.simjoin import overlap_lower_bound, prefix_length, similarity, size_bounds
+from repro.table import Table
+from repro.text.sim import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Jaro,
+    JaroWinkler,
+    Levenshtein,
+    OverlapCoefficient,
+)
+from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+text = st.text(alphabet="abcdef ", max_size=20)
+token_sets = st.sets(st.text(alphabet="abc", min_size=1, max_size=3), max_size=8)
+
+
+class TestLevenshteinProperties:
+    @given(text, text)
+    def test_symmetry(self, a, b):
+        measure = Levenshtein()
+        assert measure.get_raw_score(a, b) == measure.get_raw_score(b, a)
+
+    @given(text, text, text)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        measure = Levenshtein()
+        assert measure.get_raw_score(a, c) <= (
+            measure.get_raw_score(a, b) + measure.get_raw_score(b, c)
+        )
+
+    @given(text)
+    def test_identity(self, a):
+        assert Levenshtein().get_raw_score(a, a) == 0
+
+    @given(text, text)
+    def test_bounded_by_max_length(self, a, b):
+        assert Levenshtein().get_raw_score(a, b) <= max(len(a), len(b))
+
+    @given(text, text)
+    def test_sim_score_in_unit_interval(self, a, b):
+        score = Levenshtein().get_sim_score(a, b)
+        assert 0.0 <= score <= 1.0
+
+
+class TestJaroProperties:
+    @given(text, text)
+    def test_range_and_symmetry(self, a, b):
+        measure = Jaro()
+        score = measure.get_raw_score(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == measure.get_raw_score(b, a)
+
+    @given(text, text)
+    def test_winkler_at_least_jaro(self, a, b):
+        assert JaroWinkler().get_raw_score(a, b) >= Jaro().get_raw_score(a, b) - 1e-12
+
+    @given(text)
+    def test_identity(self, a):
+        assert Jaro().get_raw_score(a, a) == 1.0
+
+
+class TestTokenMeasureProperties:
+    @given(token_sets, token_sets)
+    def test_unit_interval(self, a, b):
+        for measure in (Jaccard(), Dice(), Cosine(), OverlapCoefficient()):
+            score = measure.get_raw_score(a, b)
+            assert 0.0 <= score <= 1.0
+
+    @given(token_sets, token_sets)
+    def test_symmetry(self, a, b):
+        for measure in (Jaccard(), Dice(), Cosine()):
+            assert measure.get_raw_score(a, b) == measure.get_raw_score(b, a)
+
+    @given(token_sets)
+    def test_identity(self, a):
+        for measure in (Jaccard(), Dice(), Cosine(), OverlapCoefficient()):
+            assert measure.get_raw_score(a, a) == 1.0
+
+    @given(token_sets, token_sets)
+    def test_jaccard_le_dice(self, a, b):
+        assert Jaccard().get_raw_score(a, b) <= Dice().get_raw_score(a, b) + 1e-12
+
+
+class TestTokenizerProperties:
+    @given(st.text(max_size=30), st.integers(min_value=1, max_value=5))
+    def test_qgram_padded_count(self, value, q):
+        tokens = QgramTokenizer(q=q).tokenize(value)
+        assert len(tokens) == max(len(value) + q - 1, 0)
+
+    @given(st.text(max_size=30))
+    def test_whitespace_roundtrip(self, value):
+        tokens = WhitespaceTokenizer().tokenize(value)
+        assert " ".join(tokens).split() == value.split()
+
+    @given(st.text(max_size=30), st.integers(min_value=1, max_value=4))
+    def test_return_set_is_deduped_subset(self, value, q):
+        bag = QgramTokenizer(q=q).tokenize(value)
+        deduped = QgramTokenizer(q=q, return_set=True).tokenize(value)
+        assert len(deduped) == len(set(bag))
+        assert set(deduped) == set(bag)
+
+
+class TestSimjoinFilterProperties:
+    measures = st.sampled_from(["jaccard", "cosine", "dice"])
+    thresholds = st.floats(min_value=0.05, max_value=1.0)
+    sizes = st.integers(min_value=1, max_value=50)
+
+    @given(measures, thresholds, sizes)
+    def test_size_bounds_bracket_self(self, measure, threshold, size):
+        lower, upper = size_bounds(measure, threshold, size)
+        assert lower <= size <= upper + 1e-9
+
+    @given(measures, thresholds, sizes)
+    def test_prefix_length_in_range(self, measure, threshold, size):
+        assert 0 <= prefix_length(measure, threshold, size) <= size
+
+    @given(measures, thresholds, token_sets, token_sets)
+    @settings(max_examples=150)
+    def test_overlap_bound_is_necessary(self, measure, threshold, a, b):
+        """If sim(a,b) >= t then |a & b| >= overlap_lower_bound."""
+        if not a or not b:
+            return
+        if similarity(measure, a, b) >= threshold:
+            assert len(a & b) >= overlap_lower_bound(measure, threshold, len(a), len(b))
+
+
+class TestMetricsProperties:
+    labels = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40)
+
+    @given(labels)
+    def test_perfect_predictions(self, y):
+        precision, recall, f1 = precision_recall_f1(y, y)
+        if any(v == 1 for v in y):
+            assert precision == recall == f1 == 1.0
+
+    @given(labels, labels)
+    @settings(max_examples=80)
+    def test_f1_between_precision_and_recall(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        precision, recall, f1 = precision_recall_f1(y_true[:n], y_pred[:n])
+        assert min(precision, recall) - 1e-9 <= f1 <= max(precision, recall) + 1e-9
+
+
+class TestTableProperties:
+    rows = st.lists(
+        st.fixed_dictionaries({"a": st.integers(), "b": st.text(max_size=5)}),
+        max_size=20,
+    )
+
+    @given(rows)
+    def test_from_rows_roundtrip(self, rows):
+        table = Table.from_rows(rows, columns=["a", "b"])
+        assert table.to_rows() == [{"a": r["a"], "b": r["b"]} for r in rows]
+
+    @given(rows, st.integers(min_value=0, max_value=25))
+    def test_head_size(self, rows, n):
+        table = Table.from_rows(rows, columns=["a", "b"])
+        assert table.head(n).num_rows == min(n, len(rows))
+
+    @given(rows)
+    def test_select_partition(self, rows):
+        table = Table.from_rows(rows, columns=["a", "b"])
+        kept = table.select(lambda row: row["a"] >= 0)
+        dropped = table.select(lambda row: row["a"] < 0)
+        assert kept.num_rows + dropped.num_rows == table.num_rows
+
+
+class TestImputerProperties:
+    matrices = st.lists(
+        st.lists(
+            st.one_of(st.floats(allow_nan=False, allow_infinity=False,
+                                min_value=-1e6, max_value=1e6),
+                      st.just(float("nan"))),
+            min_size=2, max_size=4,
+        ).map(tuple),
+        min_size=1, max_size=15,
+    ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+    @given(matrices)
+    @settings(max_examples=60)
+    def test_output_has_no_nans(self, rows):
+        X = np.array(rows, dtype=float)
+        imputed = SimpleImputer().fit_transform(X)
+        assert not np.any(np.isnan(imputed))
+
+    @given(matrices)
+    @settings(max_examples=60)
+    def test_non_missing_values_unchanged(self, rows):
+        X = np.array(rows, dtype=float)
+        imputed = SimpleImputer().fit_transform(X)
+        mask = ~np.isnan(X)
+        assert np.allclose(imputed[mask], X[mask])

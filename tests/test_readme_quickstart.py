@@ -1,0 +1,19 @@
+"""The README's quickstart snippet must actually run (docs can't rot)."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def test_quickstart_snippet_executes():
+    text = README.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python code block"
+    snippet = blocks[0]
+    namespace: dict = {}
+    exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+    predictions = namespace["predictions"]
+    assert "predicted" in predictions.columns
+    assert predictions.num_rows > 0
+    assert sum(predictions["predicted"]) > 0

@@ -1,0 +1,43 @@
+"""Test the generate_report cloud service end to end."""
+
+from repro.cloud import DEFAULT_REGISTRY, WorkflowContext
+from repro.datasets import DirtinessConfig, make_em_dataset
+from repro.datasets.entities import restaurant
+from repro.falcon import FalconConfig
+from repro.labeling import LabelingSession, OracleLabeler
+
+
+def test_generate_report_after_falcon():
+    dataset = make_em_dataset(
+        restaurant, 120, 120, match_fraction=0.5,
+        dirtiness=DirtinessConfig.light(), seed=71, name="report-task",
+    )
+    context = WorkflowContext(
+        dataset=dataset,
+        session=LabelingSession(OracleLabeler(dataset.gold_pairs), budget=400),
+        config=FalconConfig(sample_size=300, blocking_budget=80,
+                            matching_budget=120, random_state=0),
+        task_name="report-task",
+    )
+    DEFAULT_REGISTRY.get("falcon").run(context)
+    DEFAULT_REGISTRY.get("compute_accuracy").run(context)
+    DEFAULT_REGISTRY.get("generate_report").run(context)
+    report = context.get("report")
+    assert report.startswith("# EM run report: report-task")
+    assert "## Blocking" in report
+    assert "## Accuracy" in report
+    assert "questions asked:" in report
+
+
+def test_generate_report_profile_only():
+    dataset = make_em_dataset(restaurant, 50, 50, seed=72, name="profile-only")
+    context = WorkflowContext(
+        dataset=dataset,
+        session=LabelingSession(OracleLabeler(dataset.gold_pairs)),
+        task_name="profile-only",
+    )
+    DEFAULT_REGISTRY.get("generate_report").run(context)
+    report = context.get("report")
+    assert "## Profile: table A" in report
+    assert "## Blocking" not in report
+    assert "## Accuracy" not in report

@@ -1,0 +1,95 @@
+"""Tests for the schema-matching extension."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.features import get_features_for_matching
+from repro.schema_matching import (
+    match_schemas,
+    name_similarity,
+    suggest_attr_corres,
+    types_compatible,
+    value_similarity,
+)
+from repro.table import Table
+from repro.table.schema import ColumnType
+
+
+@pytest.fixture
+def renamed_tables():
+    ltable = Table(
+        {
+            "id": [1, 2, 3],
+            "full_name": ["Dave Smith", "Ann Lee", "Bob Ray"],
+            "home_city": ["Madison", "Austin", "Tampa"],
+            "age": [40, 31, 25],
+        }
+    )
+    rtable = Table(
+        {
+            "id": [10, 20],
+            "name": ["Dave Smith", "Ann Lee"],
+            "city": ["Madison", "Austin"],
+            "years": [40, 31],
+        }
+    )
+    return ltable, rtable
+
+
+class TestSimilarities:
+    def test_name_similarity_normalizes(self):
+        assert name_similarity("home_city", "HomeCity") == pytest.approx(1.0)
+        assert name_similarity("full_name", "name") > 0.5
+
+    def test_value_similarity(self, renamed_tables):
+        ltable, rtable = renamed_tables
+        high = value_similarity(ltable, "home_city", rtable, "city")
+        low = value_similarity(ltable, "home_city", rtable, "name")
+        assert high > low
+
+    def test_value_similarity_empty(self):
+        t = Table({"c": [None, None]})
+        assert value_similarity(t, "c", t, "c") == 0.0
+
+    def test_types_compatible(self):
+        assert types_compatible(ColumnType.NUMERIC, ColumnType.BOOLEAN)
+        assert not types_compatible(ColumnType.NUMERIC, ColumnType.MEDIUM_STRING)
+        assert types_compatible(ColumnType.UNKNOWN, ColumnType.NUMERIC)
+        assert types_compatible(ColumnType.SHORT_STRING, ColumnType.LONG_STRING)
+
+
+class TestMatchSchemas:
+    def test_finds_renamed_correspondences(self, renamed_tables):
+        corres = suggest_attr_corres(*renamed_tables, threshold=0.4)
+        as_dict = dict(corres)
+        assert as_dict["full_name"] == "name"
+        assert as_dict["home_city"] == "city"
+
+    def test_one_to_one(self, renamed_tables):
+        result = match_schemas(*renamed_tables, threshold=0.1)
+        lefts = [c.l_column for c in result]
+        rights = [c.r_column for c in result]
+        assert len(set(lefts)) == len(lefts)
+        assert len(set(rights)) == len(rights)
+
+    def test_type_conflicts_blocked(self, renamed_tables):
+        result = match_schemas(*renamed_tables, threshold=0.0)
+        for c in result:
+            assert not (c.l_column == "age" and c.r_column in ("name", "city"))
+
+    def test_scores_sorted(self, renamed_tables):
+        result = match_schemas(*renamed_tables, threshold=0.1)
+        scores = [c.score for c in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_weight_validation(self, renamed_tables):
+        with pytest.raises(ConfigurationError):
+            match_schemas(*renamed_tables, name_weight=1.5)
+
+    def test_feeds_feature_generation(self, renamed_tables):
+        """The integration the extension exists for."""
+        ltable, rtable = renamed_tables
+        corres = suggest_attr_corres(ltable, rtable, threshold=0.4)
+        features = get_features_for_matching(ltable, rtable, attr_corres=corres)
+        assert len(features) > 0
+        assert any("full_name" in name for name in features.names())

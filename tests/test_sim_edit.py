@@ -1,0 +1,121 @@
+"""Tests for edit-based similarity measures (known values from literature)."""
+
+import pytest
+
+from repro.text.sim import (
+    Affine,
+    Hamming,
+    Jaro,
+    JaroWinkler,
+    Levenshtein,
+    NeedlemanWunsch,
+    SmithWaterman,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "left,right,distance",
+        [
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("same", "same", 0),
+            ("a", "b", 1),
+        ],
+    )
+    def test_distances(self, left, right, distance):
+        assert Levenshtein().get_raw_score(left, right) == distance
+
+    def test_symmetry(self):
+        measure = Levenshtein()
+        assert measure.get_raw_score("abcd", "dcba") == measure.get_raw_score(
+            "dcba", "abcd"
+        )
+
+    def test_sim_score(self):
+        assert Levenshtein().get_sim_score("", "") == 1.0
+        assert Levenshtein().get_sim_score("abc", "abc") == 1.0
+        assert Levenshtein().get_sim_score("abc", "xyz") == 0.0
+
+
+class TestHamming:
+    def test_basic(self):
+        assert Hamming().get_raw_score("karolin", "kathrin") == 3
+
+    def test_unequal_lengths(self):
+        with pytest.raises(ValueError):
+            Hamming().get_raw_score("ab", "abc")
+
+    def test_sim(self):
+        assert Hamming().get_sim_score("", "") == 1.0
+        assert Hamming().get_sim_score("ab", "ab") == 1.0
+
+
+class TestJaro:
+    def test_known_value(self):
+        # Classic example: MARTHA / MARHTA = 0.944...
+        assert Jaro().get_raw_score("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_dixon_dicksonx(self):
+        assert Jaro().get_raw_score("DIXON", "DICKSONX") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_identical(self):
+        assert Jaro().get_raw_score("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert Jaro().get_raw_score("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert Jaro().get_raw_score("", "") == 1.0
+        assert Jaro().get_raw_score("a", "") == 0.0
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert JaroWinkler().get_raw_score("MARTHA", "MARHTA") == pytest.approx(
+            0.9611, abs=1e-3
+        )
+
+    def test_prefix_boost(self):
+        jaro = Jaro().get_raw_score("prefixed", "prefixes")
+        jaro_winkler = JaroWinkler().get_raw_score("prefixed", "prefixes")
+        assert jaro_winkler > jaro
+
+    def test_invalid_weight(self):
+        import pytest as _pytest
+
+        from repro.exceptions import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            JaroWinkler(prefix_weight=0.5)
+
+
+class TestAlignment:
+    def test_needleman_wunsch_identical(self):
+        assert NeedlemanWunsch().get_raw_score("abc", "abc") == 3.0
+
+    def test_needleman_wunsch_gap(self):
+        # Aligning 'ab' with 'b': one gap (-1) + one match (+1) = 0
+        assert NeedlemanWunsch(gap_cost=1.0).get_raw_score("ab", "b") == 0.0
+
+    def test_needleman_wunsch_empty(self):
+        assert NeedlemanWunsch(gap_cost=1.0).get_raw_score("abc", "") == -3.0
+
+    def test_smith_waterman_substring(self):
+        # Local alignment finds the common substring 'bcd' (score 3).
+        assert SmithWaterman().get_raw_score("xbcdz", "ybcdw") == 3.0
+
+    def test_smith_waterman_no_overlap(self):
+        assert SmithWaterman().get_raw_score("aaa", "bbb") == 0.0
+
+    def test_affine_matches_score(self):
+        assert Affine().get_raw_score("abc", "abc") == 3.0
+
+    def test_affine_gap_cheaper_to_extend(self):
+        # One long gap should beat two short gaps under affine costs.
+        affine = Affine(gap_start=2.0, gap_continuation=0.25)
+        long_gap = affine.get_raw_score("abcdef", "af")
+        assert long_gap > NeedlemanWunsch(gap_cost=2.0).get_raw_score("abcdef", "af")

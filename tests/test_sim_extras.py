@@ -1,0 +1,96 @@
+"""Tests for the additional similarity measures (BagDistance, Editex,
+Ratcliff-Obershelp)."""
+
+import difflib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.sim import BagDistance, Editex, Levenshtein, RatcliffObershelp
+
+text = st.text(alphabet="abcde ", max_size=15)
+
+
+class TestBagDistance:
+    @pytest.mark.parametrize(
+        "left,right,distance",
+        [
+            ("cesar", "caesar", 1),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("aabb", "ab", 2),
+        ],
+    )
+    def test_known_values(self, left, right, distance):
+        assert BagDistance().get_raw_score(left, right) == distance
+
+    @given(text, text)
+    @settings(max_examples=100)
+    def test_lower_bounds_levenshtein(self, left, right):
+        """The defining property: bag distance <= edit distance."""
+        assert BagDistance().get_raw_score(left, right) <= Levenshtein().get_raw_score(
+            left, right
+        )
+
+    @given(text, text)
+    def test_symmetry_and_range(self, left, right):
+        measure = BagDistance()
+        assert measure.get_raw_score(left, right) == measure.get_raw_score(right, left)
+        assert 0.0 <= measure.get_sim_score(left, right) <= 1.0
+
+    def test_sim_empty(self):
+        assert BagDistance().get_sim_score("", "") == 1.0
+
+
+class TestEditex:
+    def test_identity(self):
+        assert Editex().get_raw_score("cat", "cat") == 0
+
+    def test_phonetic_substitution_cheaper(self):
+        # c and k share a phonetic group; c and d do not.
+        editex = Editex()
+        assert editex.get_raw_score("cat", "kat") < editex.get_raw_score("cat", "dat")
+
+    def test_case_insensitive(self):
+        assert Editex().get_raw_score("CAT", "cat") == 0
+
+    def test_empty(self):
+        assert Editex().get_raw_score("", "abc") == 6
+        assert Editex().get_raw_score("abc", "") == 6
+        assert Editex().get_raw_score("", "") == 0
+
+    def test_sim_score_range(self):
+        assert Editex().get_sim_score("", "") == 1.0
+        assert 0.0 <= Editex().get_sim_score("cat", "dog") <= 1.0
+
+    @given(text, text)
+    @settings(max_examples=60)
+    def test_symmetric(self, left, right):
+        assert Editex().get_raw_score(left, right) == Editex().get_raw_score(
+            right, left
+        )
+
+    def test_phonetically_close_names(self):
+        editex = Editex()
+        assert editex.get_sim_score("nikolas", "nicolas") > editex.get_sim_score(
+            "nikolas", "norbert"
+        )
+
+
+class TestRatcliffObershelp:
+    @given(text, text)
+    @settings(max_examples=100)
+    def test_agrees_with_difflib(self, left, right):
+        ours = RatcliffObershelp().get_raw_score(left, right)
+        reference = difflib.SequenceMatcher(None, left, right).ratio()
+        # difflib uses junk heuristics only for long inputs; on short
+        # strings the two implementations agree to float precision.
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    def test_identity_and_disjoint(self):
+        measure = RatcliffObershelp()
+        assert measure.get_raw_score("abc", "abc") == 1.0
+        assert measure.get_raw_score("abc", "xyz") == 0.0
+        assert measure.get_raw_score("", "") == 1.0

@@ -1,0 +1,204 @@
+"""Tests for the filtered similarity joins: filters and equivalence with
+the brute-force reference implementation."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simjoin import (
+    TokenOrder,
+    edit_distance_join,
+    naive_set_sim_join,
+    overlap_lower_bound,
+    prefix_length,
+    set_sim_join,
+    similarity,
+    size_bounds,
+)
+from repro.table import Table
+from repro.text.sim import Levenshtein
+from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+
+class TestFilters:
+    def test_size_bounds_jaccard(self):
+        lower, upper = size_bounds("jaccard", 0.8, 10)
+        assert lower == 8
+        assert upper == pytest.approx(12.5)
+
+    def test_size_bounds_cosine(self):
+        lower, upper = size_bounds("cosine", 0.5, 8)
+        assert lower == 2
+        assert upper == 32.0
+
+    def test_size_bounds_dice(self):
+        lower, upper = size_bounds("dice", 0.8, 12)
+        assert lower == 8
+        assert upper == pytest.approx(18.0)
+
+    def test_size_bounds_overlap(self):
+        lower, upper = size_bounds("overlap", 3, 10)
+        assert lower == 3
+        assert upper == math.inf
+
+    def test_overlap_lower_bound_jaccard(self):
+        # jaccard >= 0.5 over sizes 4 and 4 requires overlap >= 8/3 -> 3
+        assert overlap_lower_bound("jaccard", 0.5, 4, 4) == 3
+
+    def test_unknown_measure(self):
+        with pytest.raises(ConfigurationError):
+            size_bounds("euclid", 0.5, 4)
+
+    def test_prefix_length_zero_size(self):
+        assert prefix_length("jaccard", 0.5, 0) == 0
+
+    def test_prefix_length_bounded_by_size(self):
+        for size in range(1, 20):
+            length = prefix_length("jaccard", 0.7, size)
+            assert 0 <= length <= size
+
+    def test_similarity_verification(self):
+        assert similarity("jaccard", {"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert similarity("overlap", {"a", "b"}, {"b"}) == 1.0
+        assert similarity("jaccard", set(), set()) == 1.0
+        assert similarity("overlap", set(), set()) == 0.0
+
+    def test_token_order_rare_first(self):
+        order = TokenOrder([["common", "rare"], ["common"], ["common", "x"]])
+        ordered = order.order(["common", "rare"])
+        assert ordered[0] == "rare"
+
+    def test_token_order_unknown_tokens_first(self):
+        order = TokenOrder([["a", "a"], ["a"]])
+        assert order.order(["a", "never_seen"])[0] == "never_seen"
+
+
+def _random_tables(seed: int, n: int = 60):
+    rng = random.Random(seed)
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+    def sentence():
+        return " ".join(rng.sample(words, rng.randrange(1, 6)))
+
+    ltable = Table({"id": [f"a{i}" for i in range(n)], "v": [sentence() for _ in range(n)]})
+    rtable = Table({"id": [f"b{i}" for i in range(n)], "v": [sentence() for _ in range(n)]})
+    return ltable, rtable
+
+
+def _pairs(result):
+    return set(zip(result.column("l_id"), result.column("r_id")))
+
+
+class TestSetSimJoin:
+    @pytest.mark.parametrize("measure,threshold", [
+        ("jaccard", 0.5),
+        ("jaccard", 0.8),
+        ("cosine", 0.6),
+        ("dice", 0.7),
+        ("overlap", 2),
+    ])
+    def test_matches_naive(self, measure, threshold):
+        ltable, rtable = _random_tables(seed=hash((measure, threshold)) % 1000)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        fast = set_sim_join(ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold)
+        slow = naive_set_sim_join(ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold)
+        assert _pairs(fast) == _pairs(slow)
+
+    def test_no_prefix_filter_same_result(self):
+        ltable, rtable = _random_tables(seed=5)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        with_filter = set_sim_join(ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.6)
+        without = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.6,
+            use_prefix_filter=False,
+        )
+        assert _pairs(with_filter) == _pairs(without)
+
+    def test_scores_meet_threshold(self):
+        ltable, rtable = _random_tables(seed=9)
+        result = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v",
+            WhitespaceTokenizer(return_set=True), "jaccard", 0.5,
+        )
+        assert all(score >= 0.5 for score in result.column("score"))
+
+    def test_missing_values_skipped(self):
+        ltable = Table({"id": [1, 2], "v": [None, "x y"]})
+        rtable = Table({"id": [3], "v": ["x y"]})
+        result = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v",
+            WhitespaceTokenizer(return_set=True), "jaccard", 0.5,
+        )
+        assert _pairs(result) == {(2, 3)}
+
+    def test_empty_output_schema(self):
+        ltable = Table({"id": [1], "v": ["aa"]})
+        rtable = Table({"id": [2], "v": ["zz"]})
+        result = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v",
+            WhitespaceTokenizer(return_set=True), "jaccard", 0.9,
+        )
+        assert result.num_rows == 0
+        assert result.columns == ["_id", "l_id", "r_id", "score"]
+
+    def test_invalid_threshold(self):
+        ltable, rtable = _random_tables(seed=1, n=3)
+        with pytest.raises(ConfigurationError):
+            set_sim_join(
+                ltable, rtable, "id", "id", "v", "v",
+                WhitespaceTokenizer(return_set=True), "jaccard", 1.5,
+            )
+        with pytest.raises(ConfigurationError):
+            set_sim_join(
+                ltable, rtable, "id", "id", "v", "v",
+                WhitespaceTokenizer(return_set=True), "overlap", 0.5,
+            )
+
+    def test_qgram_join(self):
+        ltable = Table({"id": [1], "v": ["wisconsin"]})
+        rtable = Table({"id": [2, 3], "v": ["wisconsim", "california"]})
+        result = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v",
+            QgramTokenizer(q=3, return_set=True), "jaccard", 0.5,
+        )
+        assert _pairs(result) == {(1, 2)}
+
+
+class TestEditDistanceJoin:
+    def test_finds_close_strings(self):
+        ltable = Table({"id": [1, 2], "v": ["kitten", "apple"]})
+        rtable = Table({"id": [3, 4], "v": ["sitting", "orange"]})
+        result = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=3)
+        assert _pairs(result) == {(1, 3)}
+        assert result.column("score") == [3]
+
+    def test_matches_naive_levenshtein(self):
+        ltable, rtable = _random_tables(seed=13, n=40)
+        result = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=4)
+        measure = Levenshtein()
+        expected = set()
+        for l_id, l_value in zip(ltable.column("id"), ltable.column("v")):
+            for r_id, r_value in zip(rtable.column("id"), rtable.column("v")):
+                if measure.get_raw_score(l_value, r_value) <= 4:
+                    expected.add((l_id, r_id))
+        assert _pairs(result) == expected
+
+    def test_threshold_zero_is_equality(self):
+        ltable = Table({"id": [1], "v": ["abc"]})
+        rtable = Table({"id": [2, 3], "v": ["abc", "abd"]})
+        result = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=0)
+        assert _pairs(result) == {(1, 2)}
+
+    def test_short_strings_reachable(self):
+        # Strings shorter than q have no q-grams; they must still join.
+        ltable = Table({"id": [1], "v": ["a"]})
+        rtable = Table({"id": [2], "v": ["ab"]})
+        result = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=1, q=2)
+        assert _pairs(result) == {(1, 2)}
+
+    def test_negative_threshold(self):
+        ltable = Table({"id": [1], "v": ["a"]})
+        with pytest.raises(ConfigurationError):
+            edit_distance_join(ltable, ltable, "id", "id", "v", "v", threshold=-1)

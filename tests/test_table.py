@@ -1,0 +1,180 @@
+"""Unit tests for the Table substrate."""
+
+import pytest
+
+from repro.exceptions import KeyConstraintError, SchemaError
+from repro.table import Table
+
+
+def make_table():
+    return Table({"id": [1, 2, 3], "name": ["a", "b", "c"], "age": [30, None, 25]})
+
+
+class TestConstruction:
+    def test_empty(self):
+        table = Table()
+        assert table.num_rows == 0
+        assert table.columns == []
+
+    def test_basic(self):
+        table = make_table()
+        assert table.num_rows == 3
+        assert len(table) == 3
+        assert table.columns == ["id", "name", "age"]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="unequal lengths"):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_from_rows(self):
+        table = Table.from_rows([{"x": 1, "y": 2}, {"x": 3}])
+        assert table.column("x") == [1, 3]
+        assert table.column("y") == [2, None]
+
+    def test_from_rows_empty(self):
+        assert Table.from_rows([]).num_rows == 0
+
+    def test_from_rows_explicit_columns(self):
+        table = Table.from_rows([{"x": 1, "y": 2}], columns=["y"])
+        assert table.columns == ["y"]
+
+    def test_copy_is_independent(self):
+        table = make_table()
+        clone = table.copy()
+        clone.add_column("id", [9, 9, 9])
+        assert table.column("id") == [1, 2, 3]
+
+    def test_equality(self):
+        assert make_table() == make_table()
+        assert make_table() != Table({"id": [1]})
+        assert (make_table() == 42) is False
+
+    def test_hash_is_identity(self):
+        a, b = make_table(), make_table()
+        assert a == b
+        assert hash(a) != hash(b) or a is b  # identity hash, not value hash
+
+
+class TestAccess:
+    def test_column_missing_raises(self):
+        with pytest.raises(SchemaError, match="no such column"):
+            make_table().column("nope")
+
+    def test_getitem(self):
+        assert make_table()["name"] == ["a", "b", "c"]
+
+    def test_contains(self):
+        table = make_table()
+        assert "name" in table
+        assert "nope" not in table
+
+    def test_row(self):
+        assert make_table().row(1) == {"id": 2, "name": "b", "age": None}
+
+    def test_row_negative_index(self):
+        assert make_table().row(-1)["id"] == 3
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_table().row(3)
+
+    def test_rows_iteration(self):
+        assert [row["id"] for row in make_table()] == [1, 2, 3]
+
+    def test_require_columns(self):
+        with pytest.raises(SchemaError, match="missing columns"):
+            make_table().require_columns(["id", "zzz"])
+
+
+class TestMutation:
+    def test_add_column(self):
+        table = make_table().add_column("flag", [True, False, True])
+        assert table.column("flag") == [True, False, True]
+
+    def test_add_column_wrong_length(self):
+        with pytest.raises(SchemaError):
+            make_table().add_column("flag", [1])
+
+    def test_add_column_replaces(self):
+        table = make_table().add_column("id", [7, 8, 9])
+        assert table.column("id") == [7, 8, 9]
+
+    def test_append_row(self):
+        table = make_table().append_row({"id": 4, "name": "d"})
+        assert table.num_rows == 4
+        assert table.row(3) == {"id": 4, "name": "d", "age": None}
+
+    def test_append_row_to_empty(self):
+        table = Table().append_row({"x": 1})
+        assert table.num_rows == 1
+
+    def test_drop_columns(self):
+        table = make_table().drop_columns(["age"])
+        assert table.columns == ["id", "name"]
+
+    def test_rename_columns(self):
+        table = make_table().rename_columns({"name": "title"})
+        assert "title" in table.columns
+        assert "name" not in table.columns
+
+
+class TestRelationalOps:
+    def test_project(self):
+        table = make_table().project(["name", "id"])
+        assert table.columns == ["name", "id"]
+
+    def test_select(self):
+        table = make_table().select(lambda row: row["id"] > 1)
+        assert table.column("id") == [2, 3]
+
+    def test_take(self):
+        assert make_table().take([2, 0]).column("id") == [3, 1]
+
+    def test_head(self):
+        assert make_table().head(2).num_rows == 2
+        assert make_table().head(99).num_rows == 3
+
+    def test_sample_deterministic(self):
+        table = make_table()
+        assert table.sample(2, seed=1) == table.sample(2, seed=1)
+        assert table.sample(2, seed=1).num_rows == 2
+
+    def test_sample_larger_than_table(self):
+        assert make_table().sample(50, seed=0).num_rows == 3
+
+    def test_sort_by(self):
+        table = make_table().sort_by("age")
+        # None sorts first
+        assert table.column("age") == [None, 25, 30]
+
+    def test_sort_by_reverse(self):
+        table = Table({"v": [1, 3, 2]}).sort_by("v", reverse=True)
+        assert table.column("v") == [3, 2, 1]
+
+    def test_concat(self):
+        combined = make_table().concat(make_table())
+        assert combined.num_rows == 6
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            make_table().concat(Table({"x": [1]}))
+
+    def test_unique_values(self):
+        assert Table({"v": [1, 1, 2]}).unique_values("v") == {1, 2}
+
+
+class TestKeys:
+    def test_validate_key_ok(self):
+        make_table().validate_key("id")
+
+    def test_validate_key_duplicates(self):
+        with pytest.raises(KeyConstraintError, match="duplicates"):
+            Table({"id": [1, 1]}).validate_key("id")
+
+    def test_validate_key_missing_values(self):
+        with pytest.raises(KeyConstraintError, match="missing"):
+            Table({"id": [1, None]}).validate_key("id")
+
+    def test_index_by(self):
+        index = make_table().index_by("id")
+        assert index[2]["name"] == "b"

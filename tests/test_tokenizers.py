@@ -1,0 +1,91 @@
+"""Tests for string tokenizers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.text import (
+    AlphabeticTokenizer,
+    AlphanumericTokenizer,
+    DelimiterTokenizer,
+    QgramTokenizer,
+    WhitespaceTokenizer,
+)
+
+
+class TestWhitespace:
+    def test_basic(self):
+        assert WhitespaceTokenizer().tokenize("a  b\tc") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert WhitespaceTokenizer().tokenize("") == []
+
+    def test_return_set_dedupes_preserving_order(self):
+        assert WhitespaceTokenizer(return_set=True).tokenize("b a b") == ["b", "a"]
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            WhitespaceTokenizer().tokenize(42)
+
+    def test_cached_tokenize(self):
+        tokenizer = WhitespaceTokenizer()
+        first = tokenizer.tokenize_cached("a b")
+        second = tokenizer.tokenize_cached("a b")
+        assert first is second  # memoized
+
+
+class TestDelimiter:
+    def test_custom_delimiters(self):
+        tokenizer = DelimiterTokenizer(delimiters={",", ";"})
+        assert tokenizer.tokenize("a,b;c") == ["a", "b", "c"]
+
+    def test_multichar_delimiter(self):
+        tokenizer = DelimiterTokenizer(delimiters={"--"})
+        assert tokenizer.tokenize("a--b") == ["a", "b"]
+
+    def test_empty_delimiter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelimiterTokenizer(delimiters={""})
+
+    def test_drops_empty_tokens(self):
+        assert DelimiterTokenizer(delimiters={","}).tokenize(",a,,b,") == ["a", "b"]
+
+
+class TestQgram:
+    def test_padded(self):
+        assert QgramTokenizer(q=3).tokenize("ab") == ["##a", "#ab", "ab$", "b$$"]
+
+    def test_unpadded(self):
+        assert QgramTokenizer(q=2, padding=False).tokenize("abc") == ["ab", "bc"]
+
+    def test_unpadded_short_string(self):
+        assert QgramTokenizer(q=3, padding=False).tokenize("ab") == []
+
+    def test_q_one(self):
+        assert QgramTokenizer(q=1, padding=False).tokenize("ab") == ["a", "b"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ConfigurationError):
+            QgramTokenizer(q=0)
+
+    def test_invalid_pad(self):
+        with pytest.raises(ConfigurationError):
+            QgramTokenizer(prefix_pad="##")
+
+    def test_name_includes_q(self):
+        assert QgramTokenizer(q=4).name() == "qgm_4"
+
+
+class TestAlphabetic:
+    def test_splits_on_non_letters(self):
+        assert AlphabeticTokenizer().tokenize("data9science, data") == [
+            "data",
+            "science",
+            "data",
+        ]
+
+    def test_alphanumeric_keeps_digits(self):
+        assert AlphanumericTokenizer().tokenize("#1 data9,science") == [
+            "1",
+            "data9",
+            "science",
+        ]
