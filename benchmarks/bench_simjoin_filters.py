@@ -6,21 +6,37 @@ increasing sizes with the filter-based join and the brute-force reference
 and reports the speedup (and verifies identical output).  These are also
 the proper pytest-benchmark micro-measurements of the suite (multiple
 rounds, statistics).
+
+``test_simjoin_kernel_speedup`` additionally pits the integer-kernel join
+(:mod:`repro.perf`) against a faithful copy of the original string-set
+implementation (``_seed_set_sim_join`` below), serial and with
+``n_jobs=4``, and archives the numbers as ``simjoin_kernels``.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
+from collections import defaultdict
 
 from _report import format_table, report
 
 from repro.datasets.vocab import CITIES, FIRST_NAMES, LAST_NAMES
+from repro.perf.kernels import BOUND_EPS
 from repro.simjoin import naive_set_sim_join, set_sim_join
+from repro.simjoin.filters import (
+    TokenOrder,
+    overlap_lower_bound,
+    prefix_length,
+    similarity,
+    size_bounds,
+)
 from repro.table import Table
-from repro.text.tokenizers import QgramTokenizer
+from repro.text.tokenizers import QgramTokenizer, Tokenizer
 
 TOKENIZER = QgramTokenizer(q=3, return_set=True)
+N_JOBS = 4
 
 
 def make_tables(n: int, seed: int = 0):
@@ -32,6 +48,79 @@ def make_tables(n: int, seed: int = 0):
     ltable = Table({"id": [f"a{i}" for i in range(n)], "v": [name() for _ in range(n)]})
     rtable = Table({"id": [f"b{i}" for i in range(n)], "v": [name() for _ in range(n)]})
     return ltable, rtable
+
+
+def _pairs(result: Table) -> set:
+    return set(zip(result["l_id"], result["r_id"]))
+
+
+def _timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def _seed_set_sim_join(
+    ltable: Table,
+    rtable: Table,
+    tokenizer: Tokenizer,
+    measure: str,
+    threshold: float,
+) -> Table:
+    """The original string-set filtered join, kept verbatim as baseline.
+
+    This is the pre-kernel implementation of ``set_sim_join``: token sets
+    stay Python string sets, the prefix is a keyed sort per record, the
+    size filter is checked posting-by-posting, and every candidate pays an
+    ``overlap_lower_bound`` call plus a ``set &`` intersection.  It calls
+    today's (float-guarded) bound functions so its output stays comparable.
+    """
+    left_records = [
+        (row_key, set(tokenizer.tokenize(str(value))))
+        for row_key, value in zip(ltable["id"], ltable["v"])
+    ]
+    right_records = [
+        (row_key, set(tokenizer.tokenize(str(value))))
+        for row_key, value in zip(rtable["id"], rtable["v"])
+    ]
+    order = TokenOrder([tokens for _, tokens in left_records + right_records])
+
+    right_sets = [tokens for _, tokens in right_records]
+    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    for position, tokens in enumerate(right_sets):
+        ordered = order.order(tokens)
+        for token in ordered[: prefix_length(measure, threshold, len(ordered))]:
+            index[token].append((position, len(tokens)))
+
+    results: list[tuple] = []
+    for l_id, left_tokens in left_records:
+        if not left_tokens:
+            continue
+        lower, upper = size_bounds(measure, threshold, len(left_tokens))
+        upper += BOUND_EPS
+        ordered = order.order(left_tokens)
+        candidates: set[int] = set()
+        for token in ordered[: prefix_length(measure, threshold, len(ordered))]:
+            for position, size in index.get(token, ()):
+                if lower <= size <= upper:
+                    candidates.add(position)
+        for position in candidates:
+            right_tokens = right_sets[position]
+            needed = overlap_lower_bound(
+                measure, threshold, len(left_tokens), len(right_tokens)
+            )
+            if len(left_tokens & right_tokens) < needed:
+                continue
+            score = similarity(measure, left_tokens, right_tokens)
+            if score >= threshold:
+                results.append((l_id, right_records[position][0], score))
+    return Table.from_rows(
+        (
+            {"_id": i, "l_id": l_id, "r_id": r_id, "score": score}
+            for i, (l_id, r_id, score) in enumerate(results)
+        ),
+        columns=["_id", "l_id", "r_id", "score"],
+    )
 
 
 def test_simjoin_filtered_join_speed(benchmark):
@@ -85,3 +174,81 @@ def test_simjoin_speedup_over_naive(benchmark):
     )
     assert rows[-1]["_speedup"] > 3.0
     assert rows[-1]["_speedup"] >= rows[0]["_speedup"] * 0.8
+
+
+def test_simjoin_kernel_speedup(benchmark):
+    """Integer-kernel join vs the original string-set join, serial + n_jobs."""
+    rows = []
+
+    def run_sweep():
+        rows.clear()
+        for n in (800, 1600, 3200):
+            ltable, rtable = make_tables(n)
+            seed_result, seed_seconds = _timed(
+                _seed_set_sim_join, ltable, rtable, TOKENIZER, "jaccard", 0.6
+            )
+            kernel_result, kernel_seconds = _timed(
+                set_sim_join,
+                ltable, rtable, "id", "id", "v", "v", TOKENIZER, "jaccard", 0.6,
+                n_jobs=1,
+            )
+            parallel_result, parallel_seconds = _timed(
+                set_sim_join,
+                ltable, rtable, "id", "id", "v", "v", TOKENIZER, "jaccard", 0.6,
+                n_jobs=N_JOBS,
+            )
+            assert _pairs(kernel_result) == _pairs(seed_result)
+            assert parallel_result == kernel_result  # byte-identical tables
+            rows.append(
+                {
+                    "n per side": n,
+                    "string-set join": f"{seed_seconds * 1000:.0f}ms",
+                    "int-kernel join": f"{kernel_seconds * 1000:.0f}ms",
+                    f"kernel n_jobs={N_JOBS}": f"{parallel_seconds * 1000:.0f}ms",
+                    "kernel speedup": f"{seed_seconds / kernel_seconds:.1f}x",
+                    "parallel speedup": f"{kernel_seconds / parallel_seconds:.1f}x",
+                    "output pairs": kernel_result.num_rows,
+                    "_kernel_speedup": seed_seconds / kernel_seconds,
+                    "_parallel_speedup": kernel_seconds / parallel_seconds,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    display = [{k: v for k, v in row.items() if not k.startswith("_")} for row in rows]
+    report(
+        "simjoin_kernels",
+        "Integer token-id kernels vs string-set join (+ multicore fan-out)",
+        format_table(display)
+        + f"\n\nRun on {os.cpu_count() or 1} CPU(s).  Expected shape: identical"
+          "\noutputs; the int-kernel join holds >= 2x over the string-set join"
+          "\nat the largest size, and n_jobs adds on top given spare cores.",
+    )
+    assert rows[-1]["_kernel_speedup"] >= 2.0
+    # Real parallel gains need spare cores; without them only require that
+    # fork/merge overhead stays bounded once the work amortizes it.
+    if (os.cpu_count() or 1) >= 4:
+        for row in rows:
+            assert row["_parallel_speedup"] > 0.9
+        assert rows[-1]["_parallel_speedup"] > 1.2
+    else:
+        assert rows[-1]["_parallel_speedup"] > 0.7
+
+
+def test_simjoin_kernels_smoke():
+    """Fast CI check: kernel paths agree with the seed join and each other."""
+    ltable, rtable = make_tables(200)
+    baseline = _seed_set_sim_join(ltable, rtable, TOKENIZER, "jaccard", 0.6)
+    serial = None
+    for kernel in ("mask", "merge"):
+        result = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", TOKENIZER, "jaccard", 0.6,
+            kernel=kernel,
+        )
+        assert _pairs(result) == _pairs(baseline)
+        serial = result
+    parallel = set_sim_join(
+        ltable, rtable, "id", "id", "v", "v", TOKENIZER, "jaccard", 0.6,
+        n_jobs=N_JOBS,
+    )
+    assert parallel == serial

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.blocking.base import Blocker, make_candset
 from repro.catalog.catalog import Catalog
+from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.schema import is_missing
 from repro.table.table import Row, Table
 
@@ -42,6 +43,7 @@ class AttrEquivalenceBlocker(Blocker):
         l_output_attrs: Sequence[str] = (),
         r_output_attrs: Sequence[str] = (),
         catalog: Catalog | None = None,
+        n_jobs: int = 1,
     ) -> Table:
         ltable.require_columns([l_key, self.l_block_attr])
         rtable.require_columns([r_key, self.r_block_attr])
@@ -51,14 +53,21 @@ class AttrEquivalenceBlocker(Blocker):
         ):
             if not is_missing(block_value):
                 buckets[block_value].append(key_value)
-        pairs = []
-        for key_value, block_value in zip(
-            ltable.column(l_key), ltable.column(self.l_block_attr)
-        ):
-            if is_missing(block_value):
-                continue
-            for r_key_value in buckets.get(block_value, ()):
-                pairs.append((key_value, r_key_value))
+
+        def probe_shard(shard: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+            pairs = []
+            for key_value, block_value in shard:
+                if is_missing(block_value):
+                    continue
+                for r_key_value in buckets.get(block_value, ()):
+                    pairs.append((key_value, r_key_value))
+            return pairs
+
+        probes = list(zip(ltable.column(l_key), ltable.column(self.l_block_attr)))
+        shards = split_evenly(probes, effective_n_jobs(n_jobs))
+        pairs = [
+            pair for shard in run_sharded(shards, probe_shard, n_jobs) for pair in shard
+        ]
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )
@@ -92,6 +101,7 @@ class HashBlocker(Blocker):
         l_output_attrs: Sequence[str] = (),
         r_output_attrs: Sequence[str] = (),
         catalog: Catalog | None = None,
+        n_jobs: int = 1,
     ) -> Table:
         ltable.require_columns([l_key])
         rtable.require_columns([r_key])
@@ -100,13 +110,21 @@ class HashBlocker(Blocker):
             bucket = self.r_hash(r_row)
             if bucket is not None:
                 buckets[bucket].append(r_row[r_key])
-        pairs = []
-        for l_row in ltable.rows():
-            bucket = self.l_hash(l_row)
-            if bucket is None:
-                continue
-            for r_key_value in buckets.get(bucket, ()):
-                pairs.append((l_row[l_key], r_key_value))
+
+        def probe_shard(shard: list[Row]) -> list[tuple[Any, Any]]:
+            pairs = []
+            for l_row in shard:
+                bucket = self.l_hash(l_row)
+                if bucket is None:
+                    continue
+                for r_key_value in buckets.get(bucket, ()):
+                    pairs.append((l_row[l_key], r_key_value))
+            return pairs
+
+        shards = split_evenly(list(ltable.rows()), effective_n_jobs(n_jobs))
+        pairs = [
+            pair for shard in run_sharded(shards, probe_shard, n_jobs) for pair in shard
+        ]
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.catalog.catalog import Catalog, get_catalog
 from repro.catalog.checks import validate_candset
+from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.table import Row, Table
 
 CANDSET_ID = "_id"
@@ -80,6 +81,9 @@ class Blocker:
     Subclasses implement :meth:`block_tuples` (does this pair survive?) and
     may override :meth:`block_tables` with an index-based implementation;
     the default here is the quadratic fallback, correct for any blocker.
+    ``n_jobs`` fans the scan over the left table out on a process pool;
+    shards are contiguous and merged in order, so parallel output is
+    byte-identical to serial.
     """
 
     def block_tuples(self, l_row: Row, r_row: Row) -> bool:
@@ -95,21 +99,35 @@ class Blocker:
         l_output_attrs: Sequence[str] = (),
         r_output_attrs: Sequence[str] = (),
         catalog: Catalog | None = None,
+        n_jobs: int = 1,
     ) -> Table:
         """Apply the blocker to A x B and return the candidate set."""
         ltable.require_columns([l_key])
         rtable.require_columns([r_key])
+        r_rows = list(rtable.rows())
+
+        def scan_shard(shard: list[Row]) -> list[tuple[Any, Any]]:
+            return [
+                (l_row[l_key], r_row[r_key])
+                for l_row in shard
+                for r_row in r_rows
+                if not self.block_tuples(l_row, r_row)
+            ]
+
+        shards = split_evenly(list(ltable.rows()), effective_n_jobs(n_jobs))
         pairs = [
-            (l_row[l_key], r_row[r_key])
-            for l_row in ltable.rows()
-            for r_row in rtable.rows()
-            if not self.block_tuples(l_row, r_row)
+            pair for shard in run_sharded(shards, scan_shard, n_jobs) for pair in shard
         ]
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )
 
-    def block_candset(self, candset: Table, catalog: Catalog | None = None) -> Table:
+    def block_candset(
+        self,
+        candset: Table,
+        catalog: Catalog | None = None,
+        n_jobs: int = 1,
+    ) -> Table:
         """Further filter an existing candidate set with this blocker.
 
         Validates the candidate set's metadata first (self-containment),
@@ -120,13 +138,19 @@ class Blocker:
         meta = validate_candset(candset, cat)
         l_index = meta.ltable.index_by(cat.get_key(meta.ltable))
         r_index = meta.rtable.index_by(cat.get_key(meta.rtable))
-        keep = []
-        for i in range(candset.num_rows):
-            row = candset.row(i)
-            l_row = l_index[row[meta.fk_ltable]]
-            r_row = r_index[row[meta.fk_rtable]]
-            if not self.block_tuples(l_row, r_row):
-                keep.append(i)
+
+        def scan_shard(shard: range) -> list[int]:
+            kept = []
+            for i in shard:
+                row = candset.row(i)
+                l_row = l_index[row[meta.fk_ltable]]
+                r_row = r_index[row[meta.fk_rtable]]
+                if not self.block_tuples(l_row, r_row):
+                    kept.append(i)
+            return kept
+
+        shards = split_evenly(range(candset.num_rows), effective_n_jobs(n_jobs))
+        keep = [i for shard in run_sharded(shards, scan_shard, n_jobs) for i in shard]
         result = candset.take(keep)
         result.add_column(CANDSET_ID, list(range(len(keep))))
         cat.set_candset_metadata(

@@ -67,6 +67,7 @@ class OverlapBlocker(Blocker):
         l_output_attrs: Sequence[str] = (),
         r_output_attrs: Sequence[str] = (),
         catalog: Catalog | None = None,
+        n_jobs: int = 1,
     ) -> Table:
         ltable.require_columns([l_key, self.l_block_attr])
         rtable.require_columns([r_key, self.r_block_attr])
@@ -100,6 +101,7 @@ class OverlapBlocker(Blocker):
             self._tokenizer(),
             measure="overlap",
             threshold=self.overlap_size,
+            n_jobs=n_jobs,
         )
         pairs = list(zip(joined.column("l_id"), joined.column("r_id")))
         return make_candset(

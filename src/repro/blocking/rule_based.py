@@ -53,14 +53,24 @@ class RuleBasedBlocker(Blocker):
         l_output_attrs: Sequence[str] = (),
         r_output_attrs: Sequence[str] = (),
         catalog: Catalog | None = None,
+        n_jobs: int = 1,
     ) -> Table:
         if not self.rules:
             raise ConfigurationError("RuleBasedBlocker has no rules")
         if not self.is_join_executable:
             return super().block_tables(
-                ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+                ltable,
+                rtable,
+                l_key,
+                r_key,
+                l_output_attrs,
+                r_output_attrs,
+                catalog,
+                n_jobs=n_jobs,
             )
-        pairs = sorted(execute_rules(self.rules, ltable, rtable, l_key, r_key))
+        pairs = sorted(
+            execute_rules(self.rules, ltable, rtable, l_key, r_key, n_jobs=n_jobs)
+        )
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

@@ -145,6 +145,7 @@ def _execute_complement(
     rtable: Table,
     l_key: str,
     r_key: str,
+    n_jobs: int = 1,
 ) -> set[tuple[Any, Any]]:
     """Pairs satisfying the *complement* of a rule predicate, via a join."""
     complement = predicate.complement()
@@ -196,6 +197,7 @@ def _execute_complement(
         feature.tokenizer,
         measure=feature.measure_name,
         threshold=threshold,
+        n_jobs=n_jobs,
     )
     return set(zip(joined.column("l_id"), joined.column("r_id")))
 
@@ -206,13 +208,16 @@ def execute_rule_survivors(
     rtable: Table,
     l_key: str = "id",
     r_key: str = "id",
+    n_jobs: int = 1,
 ) -> set[tuple[Any, Any]]:
     """Pairs of A x B *not* dropped by the rule, computed via joins."""
     if not rule.is_executable:
         raise WorkflowError(f"rule is not join-executable: {rule}")
     survivors: set[tuple[Any, Any]] = set()
     for predicate in rule.predicates:
-        survivors |= _execute_complement(predicate, ltable, rtable, l_key, r_key)
+        survivors |= _execute_complement(
+            predicate, ltable, rtable, l_key, r_key, n_jobs=n_jobs
+        )
     return survivors
 
 
@@ -222,13 +227,16 @@ def execute_rules(
     rtable: Table,
     l_key: str = "id",
     r_key: str = "id",
+    n_jobs: int = 1,
 ) -> set[tuple[Any, Any]]:
     """Candidate pairs surviving *all* rules (intersection of survivors)."""
     if not rules:
         raise WorkflowError("no blocking rules to execute")
     result: set[tuple[Any, Any]] | None = None
     for rule in rules:
-        survivors = execute_rule_survivors(rule, ltable, rtable, l_key, r_key)
+        survivors = execute_rule_survivors(
+            rule, ltable, rtable, l_key, r_key, n_jobs=n_jobs
+        )
         result = survivors if result is None else (result & survivors)
         if not result:
             break

@@ -18,7 +18,12 @@ from repro.catalog.catalog import Catalog, get_catalog
 from repro.catalog.checks import validate_candset
 from repro.features.feature import FeatureTable
 from repro.ml.impute import SimpleImputer
+from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.table import Table
+
+# Cache-miss sentinel: ``None`` is a legitimate (blackbox) feature value,
+# so misses must be detected with an object no feature can return.
+_MISS = object()
 
 
 def extract_feature_vecs(
@@ -26,12 +31,15 @@ def extract_feature_vecs(
     feature_table: FeatureTable,
     catalog: Catalog | None = None,
     label_column: str | None = None,
+    n_jobs: int = 1,
 ) -> Table:
     """Compute feature vectors for each pair of a candidate set.
 
     Returns a table with ``_id``, both FK columns, one column per feature
     (NaN where an attribute value is missing), and — when ``label_column``
     is given — that column copied through from the candidate set.
+    ``n_jobs`` fans the candidate pairs out over a process pool; output is
+    byte-identical to serial.
     """
     cat = catalog if catalog is not None else get_catalog()
     meta = validate_candset(candset, cat)
@@ -43,33 +51,43 @@ def extract_feature_vecs(
         meta.fk_ltable: list(candset.column(meta.fk_ltable)),
         meta.fk_rtable: list(candset.column(meta.fk_rtable)),
     }
-    for feature in feature_table:
-        columns[feature.name] = []
     if label_column is not None:
         candset.require_columns([label_column])
-        columns[label_column] = list(candset.column(label_column))
 
-    # Candidate sets repeat attribute-value pairs heavily (think state or
-    # city columns), so each feature's values are memoized per distinct
-    # (l_value, r_value) pair.  Unhashable values fall back to direct
-    # evaluation.
-    memos: dict[str, dict] = {feature.name: {} for feature in feature_table}
-    for l_key_value, r_key_value in zip(
-        candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)
-    ):
-        l_row = l_index[l_key_value]
-        r_row = r_index[r_key_value]
-        for feature in feature_table:
-            l_value = l_row[feature.l_attr]
-            r_value = r_row[feature.r_attr]
-            memo = memos[feature.name]
-            try:
-                value = memo.get((l_value, r_value))
-                if value is None:
-                    value = memo[(l_value, r_value)] = feature(l_value, r_value)
-            except TypeError:
-                value = feature(l_value, r_value)
-            columns[feature.name].append(value)
+    features = list(feature_table)
+
+    def extract_shard(shard: list[tuple[Any, Any]]) -> dict[str, list[Any]]:
+        # Candidate sets repeat attribute-value pairs heavily (think state
+        # or city columns), so each feature's values are memoized per
+        # distinct (l_value, r_value) pair.  Unhashable values fall back
+        # to direct evaluation.
+        shard_columns: dict[str, list[Any]] = {f.name: [] for f in features}
+        memos: dict[str, dict] = {f.name: {} for f in features}
+        for l_key_value, r_key_value in shard:
+            l_row = l_index[l_key_value]
+            r_row = r_index[r_key_value]
+            for feature in features:
+                l_value = l_row[feature.l_attr]
+                r_value = r_row[feature.r_attr]
+                memo = memos[feature.name]
+                try:
+                    value = memo.get((l_value, r_value), _MISS)
+                    if value is _MISS:
+                        value = memo[(l_value, r_value)] = feature(l_value, r_value)
+                except TypeError:
+                    value = feature(l_value, r_value)
+                shard_columns[feature.name].append(value)
+        return shard_columns
+
+    pairs = list(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)))
+    shards = split_evenly(pairs, effective_n_jobs(n_jobs))
+    for feature in features:
+        columns[feature.name] = []
+    for shard_columns in run_sharded(shards, extract_shard, n_jobs):
+        for name, values in shard_columns.items():
+            columns[name].extend(values)
+    if label_column is not None:
+        columns[label_column] = list(candset.column(label_column))
 
     result = Table(columns)
     cat.set_candset_metadata(

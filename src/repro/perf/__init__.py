@@ -1,0 +1,49 @@
+"""Shared performance kernels for the candidate-generation hot paths.
+
+The paper's efficiency principle (Section 4.1) is that the packages must
+"run as fast as the hardware allows".  This package concentrates the two
+mechanisms every hot path shares:
+
+* :mod:`repro.perf.tokens` — a :class:`TokenUniverse` mapping tokens to
+  dense integer ids ranked by global frequency, so token sets become
+  sorted int arrays and the prefix filter becomes a slice;
+* :mod:`repro.perf.kernels` — integer-set overlap kernels (merge-scan
+  with ppjoin-style early exit, and a bitmask popcount fast path) plus
+  per-measure scorers that avoid per-pair validation;
+* :mod:`repro.perf.parallel` — one process-pool executor shared by the
+  sim joins, the blockers, feature extraction, and the production stage.
+"""
+
+from repro.perf.kernels import (
+    MASK_UNIVERSE_MAX,
+    bounded_overlap,
+    make_overlap_bound,
+    make_scorer,
+    mask_overlap,
+    token_mask,
+)
+from repro.perf.parallel import (
+    concat_tables,
+    effective_n_jobs,
+    parallel_map_partitions,
+    partition_table,
+    run_sharded,
+    split_evenly,
+)
+from repro.perf.tokens import TokenUniverse
+
+__all__ = [
+    "MASK_UNIVERSE_MAX",
+    "TokenUniverse",
+    "bounded_overlap",
+    "concat_tables",
+    "effective_n_jobs",
+    "make_overlap_bound",
+    "make_scorer",
+    "mask_overlap",
+    "parallel_map_partitions",
+    "partition_table",
+    "run_sharded",
+    "split_evenly",
+    "token_mask",
+]

@@ -6,69 +6,34 @@ unavailable here, so this module provides the same capability directly:
 
 * :func:`partition_table` / :func:`parallel_map_partitions` — split a
   table into partitions and map a function over them on a process pool
-  (the Dask substitute);
+  (the Dask substitute); both now live in :mod:`repro.perf.parallel`,
+  the executor shared with the sim joins, the blockers, and feature
+  extraction, and are re-exported here for compatibility;
 * :class:`CheckpointedRun` — persist each finished partition to disk so a
   crashed production run resumes where it left off instead of restarting
   (the paper's "scaling, logging, crash recovery, monitoring" list).
 
-The mapped function must be picklable (a module-level function), the
-usual constraint of process pools.
+Workers inherit the mapped function through ``fork``, so it does not
+need to be picklable.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import multiprocessing
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.exceptions import ConfigurationError, WorkflowError
+from repro.exceptions import WorkflowError
+from repro.perf.parallel import (  # noqa: F401  (compatibility re-exports)
+    concat_tables as _concat_all,
+    parallel_map_partitions,
+    partition_table,
+)
 from repro.table.io import read_csv, write_csv
 from repro.table.table import Table
 
 logger = logging.getLogger("repro.pipeline.production")
-
-
-def partition_table(table: Table, n_partitions: int) -> list[Table]:
-    """Split a table into ``n_partitions`` contiguous row blocks."""
-    if n_partitions < 1:
-        raise ConfigurationError(f"n_partitions must be >= 1, got {n_partitions}")
-    n_partitions = min(n_partitions, max(table.num_rows, 1))
-    size = -(-table.num_rows // n_partitions)  # ceil division
-    return [
-        table.take(range(start, min(start + size, table.num_rows)))
-        for start in range(0, max(table.num_rows, 1), size)
-    ]
-
-
-def _concat_all(parts: list[Table]) -> Table:
-    result = parts[0]
-    for part in parts[1:]:
-        result = result.concat(part)
-    return result
-
-
-def parallel_map_partitions(
-    table: Table,
-    fn: Callable[[Table], Table],
-    n_workers: int = 2,
-    n_partitions: int | None = None,
-) -> Table:
-    """Apply ``fn`` to each partition on a process pool; concat results.
-
-    With ``n_workers=1`` the map runs in-process (no pool), which also
-    lifts the picklability requirement — handy for tests and debugging.
-    """
-    if n_workers < 1:
-        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-    partitions = partition_table(table, n_partitions or n_workers)
-    if n_workers == 1:
-        return _concat_all([fn(part) for part in partitions])
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=n_workers) as pool:
-        results = pool.map(fn, partitions)
-    return _concat_all(results)
 
 
 class CheckpointedRun:

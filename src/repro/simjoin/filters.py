@@ -14,10 +14,11 @@ with three classic filters before verifying candidates exactly:
 from __future__ import annotations
 
 import math
-from collections import Counter
 from collections.abc import Iterable
 
 from repro.exceptions import ConfigurationError
+from repro.perf.kernels import ceil_bound
+from repro.perf.tokens import TokenUniverse
 
 SET_MEASURES = ("jaccard", "cosine", "dice", "overlap")
 
@@ -37,19 +38,25 @@ def size_bounds(measure: str, threshold: float, size: int) -> tuple[int, float]:
 
     For ``overlap`` the threshold is an absolute count and only the lower
     bound applies (upper bound is infinite).
+
+    Lower bounds are guarded against float rounding (see
+    :data:`repro.perf.kernels.ceil_bound`): a product landing epsilon
+    above an integer must not ceil past it, or the filter would drop true
+    matches.  The float upper bound can round epsilon *low*, so comparison
+    sites must compare with a ``BOUND_EPS`` allowance.
     """
     measure = validate_measure(measure)
     if measure == "jaccard":
-        return math.ceil(threshold * size), size / threshold
+        return ceil_bound(threshold * size), size / threshold
     if measure == "cosine":
-        return math.ceil(threshold * threshold * size), size / (threshold * threshold)
+        return ceil_bound(threshold * threshold * size), size / (threshold * threshold)
     if measure == "dice":
         return (
-            math.ceil(threshold / (2.0 - threshold) * size),
+            ceil_bound(threshold / (2.0 - threshold) * size),
             (2.0 - threshold) / threshold * size,
         )
     # overlap
-    return math.ceil(threshold), math.inf
+    return ceil_bound(threshold), math.inf
 
 
 def overlap_lower_bound(
@@ -58,12 +65,12 @@ def overlap_lower_bound(
     """Minimum token overlap required for the pair to reach the threshold."""
     measure = validate_measure(measure)
     if measure == "jaccard":
-        return math.ceil(threshold / (1.0 + threshold) * (left_size + right_size))
+        return ceil_bound(threshold / (1.0 + threshold) * (left_size + right_size))
     if measure == "cosine":
-        return math.ceil(threshold * math.sqrt(left_size * right_size))
+        return ceil_bound(threshold * math.sqrt(left_size * right_size))
     if measure == "dice":
-        return math.ceil(threshold / 2.0 * (left_size + right_size))
-    return math.ceil(threshold)
+        return ceil_bound(threshold / 2.0 * (left_size + right_size))
+    return ceil_bound(threshold)
 
 
 def similarity(measure: str, left: set[str], right: set[str]) -> float:
@@ -93,7 +100,7 @@ def prefix_length(measure: str, threshold: float, size: int) -> int:
     if size == 0:
         return 0
     if measure == "overlap":
-        return max(size - math.ceil(threshold) + 1, 0)
+        return max(size - ceil_bound(threshold) + 1, 0)
     # Minimum overlap this record needs with its *smallest* admissible
     # partner; sharing fewer than that from anywhere means sharing at
     # least one token in the prefix of length size - bound + 1.
@@ -107,21 +114,18 @@ class TokenOrder:
     """Global token ordering by ascending corpus frequency.
 
     Rare tokens sort first, which makes prefixes maximally selective.
-    Unknown tokens are treated as rarest (frequency 0).
+    Unknown tokens are treated as rarest (frequency 0).  The ordering is
+    computed by :class:`repro.perf.tokens.TokenUniverse` (which subsumes
+    this class); TokenOrder remains as the string-level public API.
     """
 
     def __init__(self, corpus: Iterable[Iterable[str]]):
-        frequency: Counter[str] = Counter()
-        for record in corpus:
-            frequency.update(set(record))
-        # Ties broken lexically for determinism.
-        ranked = sorted(frequency.items(), key=lambda item: (item[1], item[0]))
-        self._rank = {token: rank for rank, (token, _) in enumerate(ranked, start=1)}
+        self.universe = TokenUniverse(corpus)
 
     def rank(self, token: str) -> tuple[int, str]:
         """Sort key for a token (unknown tokens first)."""
-        return (self._rank.get(token, 0), token)
+        return self.universe.rank(token)
 
     def order(self, tokens: Iterable[str]) -> list[str]:
         """Distinct tokens sorted by the global ordering."""
-        return sorted(set(tokens), key=self.rank)
+        return self.universe.order(tokens)

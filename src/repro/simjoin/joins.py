@@ -5,16 +5,35 @@ apply the size filter, generate candidates through a prefix-filter inverted
 index, and verify each candidate exactly.  ``naive_set_sim_join`` computes
 the same result by brute force and exists as the benchmark baseline that
 motivates this package (py_stringsimjoin in the paper).
+
+The filtered join runs on the integer kernels of :mod:`repro.perf`: every
+distinct string is tokenized once (``tokenize_cached``) and encoded once
+into a sorted tuple of dense token ids ranked by global frequency, so the
+prefix filter is a slice, the size filter is a ``bisect`` over postings
+sorted by size, and verification is a C-level bitmask intersection (small
+universes) or a merge scan with ppjoin-style early exit (large ones).
+Both joins accept ``n_jobs`` and fan the probe side out over a process
+pool; shards are contiguous and merged in order, so parallel output is
+byte-identical to serial.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from bisect import bisect_left, bisect_right
+from collections import Counter
 
 from repro.exceptions import ConfigurationError
+from repro.perf.kernels import (
+    BOUND_EPS,
+    MASK_UNIVERSE_MAX,
+    bounded_overlap,
+    make_overlap_bound,
+    make_scorer,
+    token_mask,
+)
+from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
+from repro.perf.tokens import TokenUniverse
 from repro.simjoin.filters import (
-    TokenOrder,
-    overlap_lower_bound,
     prefix_length,
     similarity,
     size_bounds,
@@ -26,17 +45,23 @@ from repro.text.sim.edit_based import Levenshtein
 from repro.text.tokenizers import QgramTokenizer, Tokenizer
 
 _OUTPUT_COLUMNS = ("_id", "l_id", "r_id", "score")
+KERNELS = ("auto", "mask", "merge")
+
+
+def _string_records(table: Table, key: str, column: str) -> list[tuple]:
+    """(key, str value) for each row with a non-missing value."""
+    table.require_columns([key, column])
+    return [
+        (row_key, str(value))
+        for row_key, value in zip(table.column(key), table.column(column))
+        if not is_missing(value)
+    ]
 
 
 def _tokenize_column(table: Table, key: str, column: str, tokenizer: Tokenizer):
-    """Yield (key, token_set) for each row with a non-missing value."""
-    table.require_columns([key, column])
-    keys = table.column(key)
-    values = table.column(column)
-    for row_key, value in zip(keys, values):
-        if is_missing(value):
-            continue
-        yield row_key, set(tokenizer.tokenize(str(value)))
+    """Yield (key, token_set); tokenization is memoized per distinct value."""
+    for row_key, value in _string_records(table, key, column):
+        yield row_key, set(tokenizer.tokenize_cached(value))
 
 
 def _result_table(rows: list[tuple]) -> Table:
@@ -63,6 +88,8 @@ def set_sim_join(
     measure: str = "jaccard",
     threshold: float = 0.7,
     use_prefix_filter: bool = True,
+    n_jobs: int = 1,
+    kernel: str = "auto",
 ) -> Table:
     """Join two tables on set similarity of a tokenized string column.
 
@@ -72,6 +99,10 @@ def set_sim_join(
     Parameters mirror py_stringsimjoin: the key columns identify rows, the
     join columns are tokenized with ``tokenizer``, and ``measure`` is one of
     ``jaccard``, ``cosine``, ``dice``, or ``overlap`` (absolute threshold).
+    ``n_jobs`` fans the probe side out over a process pool (output is
+    byte-identical to serial).  ``kernel`` selects the verification
+    strategy: ``"mask"`` (bitmask popcount), ``"merge"`` (merge scan with
+    early exit), or ``"auto"`` (mask while the token universe is small).
     """
     measure = validate_measure(measure)
     if measure != "overlap" and not 0.0 < threshold <= 1.0:
@@ -80,51 +111,109 @@ def set_sim_join(
         )
     if measure == "overlap" and threshold < 1:
         raise ConfigurationError(f"overlap threshold must be >= 1, got {threshold}")
+    if kernel not in KERNELS:
+        raise ConfigurationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
 
-    left_records = list(_tokenize_column(ltable, l_key, l_column, tokenizer))
-    right_records = list(_tokenize_column(rtable, r_key, r_column, tokenizer))
-    order = TokenOrder([tokens for _, tokens in left_records + right_records])
+    left_records = _string_records(ltable, l_key, l_column)
+    right_records = _string_records(rtable, r_key, r_column)
 
-    # Index the right side: token -> [(row position, set size)].
-    right_sets = [tokens for _, tokens in right_records]
-    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
-    for position, tokens in enumerate(right_sets):
-        ordered = order.order(tokens)
+    # Tokenize and encode each distinct string exactly once.
+    token_sets: dict[str, set] = {}
+
+    def tokens_of(value: str) -> set:
+        tokens = token_sets.get(value)
+        if tokens is None:
+            tokens = token_sets[value] = set(tokenizer.tokenize_cached(value))
+        return tokens
+
+    universe = TokenUniverse(
+        tokens_of(value) for _, value in left_records + right_records
+    )
+    encoded: dict[str, tuple] = {}
+
+    def encode(value: str) -> tuple:
+        ids = encoded.get(value)
+        if ids is None:
+            ids = encoded[value] = universe.encode(token_sets[value])
+        return ids
+
+    left_enc = [(row_key, encode(value)) for row_key, value in left_records]
+    right_enc = [(row_key, encode(value)) for row_key, value in right_records]
+
+    # Index the right side: token id -> postings sorted by set size, held
+    # as parallel (sizes, positions) lists so the probe's size filter is a
+    # bisect window and candidate collection is a bulk set.update.
+    postings_by_token: dict[int, list[tuple[int, int]]] = {}
+    for position, (_, tokens) in enumerate(right_enc):
+        size = len(tokens)
+        if not size:
+            continue
         prefix = (
-            ordered[: prefix_length(measure, threshold, len(ordered))]
+            tokens[: prefix_length(measure, threshold, size)]
             if use_prefix_filter
-            else ordered
+            else tokens
         )
         for token in prefix:
-            index[token].append((position, len(tokens)))
+            postings_by_token.setdefault(token, []).append((size, position))
+    index: dict[int, tuple[list[int], list[int]]] = {}
+    for token, postings in postings_by_token.items():
+        postings.sort()
+        index[token] = ([s for s, _ in postings], [p for _, p in postings])
 
-    results: list[tuple] = []
-    for l_id, left_tokens in left_records:
-        if not left_tokens:
-            continue
-        lower, upper = size_bounds(measure, threshold, len(left_tokens))
-        ordered = order.order(left_tokens)
-        probe = (
-            ordered[: prefix_length(measure, threshold, len(ordered))]
-            if use_prefix_filter
-            else ordered
-        )
-        candidates: set[int] = set()
-        for token in probe:
-            for position, size in index.get(token, ()):
-                if lower <= size <= upper:
-                    candidates.add(position)
-        for position in candidates:
-            right_tokens = right_sets[position]
-            needed = overlap_lower_bound(
-                measure, threshold, len(left_tokens), len(right_tokens)
-            )
-            if len(left_tokens & right_tokens) < needed:
+    use_masks = kernel == "mask" or (
+        kernel == "auto" and len(universe) <= MASK_UNIVERSE_MAX
+    )
+    right_masks = [token_mask(tokens) for _, tokens in right_enc] if use_masks else None
+    scorer = make_scorer(measure)
+    overlap_bound = make_overlap_bound(measure, threshold)
+
+    def join_shard(shard: list[tuple]) -> list[tuple]:
+        results: list[tuple] = []
+        for l_id, left in shard:
+            left_size = len(left)
+            if not left_size:
                 continue
-            score = similarity(measure, left_tokens, right_tokens)
-            if score >= threshold:
-                results.append((l_id, right_records[position][0], score))
-    return _result_table(results)
+            lower, upper = size_bounds(measure, threshold, left_size)
+            # The float upper bound can round epsilon low; admit the edge.
+            upper += BOUND_EPS
+            probe = (
+                left[: prefix_length(measure, threshold, left_size)]
+                if use_prefix_filter
+                else left
+            )
+            candidates: set[int] = set()
+            collect = candidates.update
+            for token in probe:
+                entry = index.get(token)
+                if entry is None:
+                    continue
+                sizes, positions = entry
+                collect(positions[bisect_left(sizes, lower) : bisect_right(sizes, upper)])
+            if not candidates:
+                continue
+            if use_masks:
+                left_mask = token_mask(left)
+                for position in sorted(candidates):
+                    r_id, right = right_enc[position]
+                    overlap = (left_mask & right_masks[position]).bit_count()
+                    score = scorer(overlap, left_size, len(right))
+                    if score >= threshold:
+                        results.append((l_id, r_id, score))
+            else:
+                for position in sorted(candidates):
+                    r_id, right = right_enc[position]
+                    needed = overlap_bound(left_size, len(right))
+                    overlap = bounded_overlap(left, right, needed)
+                    if overlap < needed:
+                        continue
+                    score = scorer(overlap, left_size, len(right))
+                    if score >= threshold:
+                        results.append((l_id, r_id, score))
+        return results
+
+    shards = split_evenly(left_enc, effective_n_jobs(n_jobs))
+    rows = [row for shard in run_sharded(shards, join_shard, n_jobs) for row in shard]
+    return _result_table(rows)
 
 
 def naive_set_sim_join(
@@ -160,6 +249,7 @@ def edit_distance_join(
     r_column: str,
     threshold: int = 2,
     q: int = 2,
+    n_jobs: int = 1,
 ) -> Table:
     """Join rows whose string values are within edit distance ``threshold``.
 
@@ -168,37 +258,36 @@ def edit_distance_join(
     ``max(|x|, |y|) - q + 1 - q * d`` (positional-free) q-grams, plus the
     length filter ``||x| - |y|| <= d``.  Survivors are verified with exact
     Levenshtein distance; the output ``score`` column holds the distance.
+    Q-gram bags are computed once per distinct string, and ``n_jobs``
+    fans the probe side out over a process pool.
     """
     if threshold < 0:
         raise ConfigurationError(f"edit-distance threshold must be >= 0, got {threshold}")
     tokenizer = QgramTokenizer(q=q, padding=False)
     levenshtein = Levenshtein()
 
-    def qgram_bag(value: str) -> list[str]:
-        return tokenizer.tokenize(value)
+    # Repeated attribute values (cities, states) share one tokenization
+    # and one gram-count bag.
+    gram_counts_cache: dict[str, Counter] = {}
 
-    ltable.require_columns([l_key, l_column])
-    rtable.require_columns([r_key, r_column])
-    left_records = [
-        (k, str(v))
-        for k, v in zip(ltable.column(l_key), ltable.column(l_column))
-        if not is_missing(v)
-    ]
-    right_records = [
-        (k, str(v))
-        for k, v in zip(rtable.column(r_key), rtable.column(r_column))
-        if not is_missing(v)
-    ]
+    def gram_counts(value: str) -> Counter:
+        counts = gram_counts_cache.get(value)
+        if counts is None:
+            counts = gram_counts_cache[value] = Counter(
+                tokenizer.tokenize_cached(value)
+            )
+        return counts
+
+    left_records = _string_records(ltable, l_key, l_column)
+    right_records = _string_records(rtable, r_key, r_column)
 
     # The classic count filter bounds the *bag* overlap of q-grams, so the
     # index records per-record gram multiplicities and probing accumulates
     # min(left count, right count) per gram.
-    from collections import Counter
-
-    index: dict[str, list[tuple[int, int]]] = defaultdict(list)
+    index: dict[str, list[tuple[int, int]]] = {}
     for position, (_, value) in enumerate(right_records):
-        for gram, count in Counter(qgram_bag(value)).items():
-            index[gram].append((position, count))
+        for gram, count in gram_counts(value).items():
+            index.setdefault(gram, []).append((position, count))
     # When max(|x|, |y|) <= q - 1 + q*d the count filter requires zero
     # shared q-grams, so short pairs are candidates even with no shared
     # gram and cannot be reached through the inverted index.
@@ -209,23 +298,30 @@ def edit_distance_join(
         if len(value) <= vacuous_bound
     ]
 
-    results = []
-    for l_id, left_value in left_records:
-        counts: dict[int, int] = defaultdict(int)
-        for gram, left_count in Counter(qgram_bag(left_value)).items():
-            for position, right_count in index.get(gram, ()):
-                counts[position] += min(left_count, right_count)
-        candidates = set(counts)
-        if len(left_value) <= vacuous_bound:
-            candidates.update(short_right)
-        for position in candidates:
-            r_id, right_value = right_records[position]
-            if abs(len(left_value) - len(right_value)) > threshold:
-                continue
-            required = max(len(left_value), len(right_value)) - q + 1 - q * threshold
-            if required > 0 and counts.get(position, 0) < required:
-                continue
-            distance = levenshtein.get_raw_score(left_value, right_value)
-            if distance <= threshold:
-                results.append((l_id, r_id, distance))
-    return _result_table(results)
+    def join_shard(shard: list[tuple]) -> list[tuple]:
+        results: list[tuple] = []
+        for l_id, left_value in shard:
+            counts: dict[int, int] = {}
+            for gram, left_count in gram_counts(left_value).items():
+                for position, right_count in index.get(gram, ()):
+                    counts[position] = counts.get(position, 0) + min(
+                        left_count, right_count
+                    )
+            candidates = set(counts)
+            if len(left_value) <= vacuous_bound:
+                candidates.update(short_right)
+            for position in sorted(candidates):
+                r_id, right_value = right_records[position]
+                if abs(len(left_value) - len(right_value)) > threshold:
+                    continue
+                required = max(len(left_value), len(right_value)) - q + 1 - q * threshold
+                if required > 0 and counts.get(position, 0) < required:
+                    continue
+                distance = levenshtein.get_raw_score(left_value, right_value)
+                if distance <= threshold:
+                    results.append((l_id, r_id, distance))
+        return results
+
+    shards = split_evenly(left_records, effective_n_jobs(n_jobs))
+    rows = [row for shard in run_sharded(shards, join_shard, n_jobs) for row in shard]
+    return _result_table(rows)

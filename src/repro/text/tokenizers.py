@@ -51,6 +51,17 @@ class Tokenizer:
             tokens = cache[text] = self.tokenize(text)
         return tokens
 
+    def clear_cache(self) -> None:
+        """Drop the :meth:`tokenize_cached` memo (e.g. between datasets)."""
+        self.__dict__.pop("_cache", None)
+
+    def __getstate__(self):
+        # The memo can be large and is cheap to rebuild, so it stays out
+        # of pickles (checkpoints, cross-process transfers).
+        state = self.__dict__.copy()
+        state.pop("_cache", None)
+        return state
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(return_set={self.return_set})"
 

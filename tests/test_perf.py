@@ -1,0 +1,432 @@
+"""Tests for the performance kernel layer and the multicore fan-out.
+
+Two guarantees are enforced here:
+
+* the integer-kernel filtered join equals the brute-force reference
+  across every measure, threshold, prefix-filter setting, and kernel;
+* every ``n_jobs``-parallelized entry point produces output
+  byte-identical to its serial run (``Table.__eq__`` compares the full
+  column data, so equality means same columns, same values, same order).
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.blocking import (
+    AttrEquivalenceBlocker,
+    Blocker,
+    HashBlocker,
+    OverlapBlocker,
+    RuleBasedBlocker,
+    make_candset,
+)
+from repro.exceptions import ConfigurationError, SchemaError
+from repro.features import (
+    FeatureTable,
+    extract_feature_vecs,
+    get_features_for_blocking,
+    make_blackbox_feature,
+)
+from repro.perf import (
+    TokenUniverse,
+    bounded_overlap,
+    concat_tables,
+    effective_n_jobs,
+    make_overlap_bound,
+    make_scorer,
+    mask_overlap,
+    parallel_map_partitions,
+    partition_table,
+    split_evenly,
+    token_mask,
+)
+from repro.simjoin import (
+    edit_distance_join,
+    naive_set_sim_join,
+    overlap_lower_bound,
+    set_sim_join,
+    similarity,
+)
+from repro.simjoin.filters import TokenOrder
+from repro.table import Table
+from repro.text.sim import Levenshtein
+from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+N_JOBS = 4
+
+
+def _random_tables(seed: int, n: int = 60):
+    rng = random.Random(seed)
+    words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+    def sentence():
+        return " ".join(rng.sample(words, rng.randrange(1, 6)))
+
+    ltable = Table({"id": [f"a{i}" for i in range(n)], "v": [sentence() for _ in range(n)]})
+    rtable = Table({"id": [f"b{i}" for i in range(n)], "v": [sentence() for _ in range(n)]})
+    return ltable, rtable
+
+
+def _pairs(result):
+    return set(zip(result.column("l_id"), result.column("r_id")))
+
+
+class TestTokenUniverse:
+    def test_ids_dense_rare_first(self):
+        universe = TokenUniverse([["common", "rare"], ["common"], ["common", "x"]])
+        assert len(universe) == 3
+        assert sorted(universe.token_id(t) for t in ("common", "rare", "x")) == [0, 1, 2]
+        # rare/x (frequency 1) come before common (frequency 3); lexical ties.
+        assert universe.token_id("rare") == 0
+        assert universe.token_id("x") == 1
+        assert universe.token_id("common") == 2
+
+    def test_encode_sorted_distinct(self):
+        universe = TokenUniverse([["a", "b", "c"], ["c"], ["b", "c"]])
+        encoded = universe.encode(["c", "a", "c", "b"])
+        assert list(encoded) == sorted(encoded)
+        assert len(encoded) == 3
+
+    def test_encode_unknown_raises(self):
+        universe = TokenUniverse([["a"]])
+        with pytest.raises(KeyError):
+            universe.encode(["a", "never_seen"])
+
+    def test_decode_roundtrip(self):
+        universe = TokenUniverse([["a", "b"], ["b"]])
+        encoded = universe.encode(["a", "b"])
+        assert set(universe.decode(encoded)) == {"a", "b"}
+
+    def test_token_order_wrapper_matches(self):
+        corpus = [["common", "rare"], ["common"], ["common", "x"]]
+        order = TokenOrder(corpus)
+        assert order.order(["common", "rare"]) == ["rare", "common"]
+        assert order.rank("never_seen")[0] == 0
+        assert order.order(["a_unknown", "common"])[0] == "a_unknown"
+
+
+class TestKernels:
+    def test_bounded_overlap_matches_set_intersection(self):
+        rng = random.Random(0)
+        for _ in range(300):
+            a = tuple(sorted(rng.sample(range(40), rng.randrange(0, 15))))
+            b = tuple(sorted(rng.sample(range(40), rng.randrange(0, 15))))
+            true_overlap = len(set(a) & set(b))
+            needed = rng.randrange(0, 12)
+            got = bounded_overlap(a, b, needed)
+            if true_overlap >= needed:
+                assert got == true_overlap
+            else:
+                # Early exit may return -1 or the exact (insufficient) count.
+                assert got < needed
+
+    def test_mask_overlap_exact(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            a = tuple(sorted(rng.sample(range(200), rng.randrange(0, 30))))
+            b = tuple(sorted(rng.sample(range(200), rng.randrange(0, 30))))
+            assert mask_overlap(token_mask(a), token_mask(b)) == len(set(a) & set(b))
+
+    def test_scorers_match_similarity(self):
+        rng = random.Random(2)
+        for measure in ("jaccard", "cosine", "dice", "overlap"):
+            scorer = make_scorer(measure)
+            for _ in range(50):
+                left = set(rng.sample(range(30), rng.randrange(1, 12)))
+                right = set(rng.sample(range(30), rng.randrange(1, 12)))
+                left_str = {str(x) for x in left}
+                right_str = {str(x) for x in right}
+                expected = similarity(measure, left_str, right_str)
+                got = scorer(len(left_str & right_str), len(left_str), len(right_str))
+                assert got == expected
+
+    def test_overlap_bound_matches_filters(self):
+        for measure, threshold in [
+            ("jaccard", 0.5),
+            ("jaccard", 0.8),
+            ("cosine", 0.6),
+            ("dice", 0.7),
+            ("overlap", 3),
+        ]:
+            bound = make_overlap_bound(measure, threshold)
+            for la in range(1, 15):
+                for lb in range(1, 15):
+                    assert bound(la, lb) == overlap_lower_bound(
+                        measure, threshold, la, lb
+                    )
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scorer("euclid")
+        with pytest.raises(ConfigurationError):
+            make_overlap_bound("euclid", 0.5)
+
+
+class TestParallelPrimitives:
+    def test_effective_n_jobs(self):
+        assert effective_n_jobs(None) == 1
+        assert effective_n_jobs(1) == 1
+        assert effective_n_jobs(3) == 3
+        assert effective_n_jobs(-1) >= 1
+        with pytest.raises(ConfigurationError):
+            effective_n_jobs(0)
+
+    def test_split_evenly_contiguous_and_complete(self):
+        items = list(range(23))
+        shards = split_evenly(items, 4)
+        assert [x for shard in shards for x in shard] == items
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_split_evenly_more_shards_than_items(self):
+        shards = split_evenly([1, 2], 10)
+        assert len(shards) == 2
+
+    def test_split_evenly_empty(self):
+        assert split_evenly([], 4) == [[]]
+
+    def test_concat_tables_matches_pairwise(self):
+        parts = [
+            Table({"a": [1, 2], "b": ["x", "y"]}),
+            Table({"a": [3], "b": ["z"]}),
+            Table({"a": [], "b": []}),
+            Table({"a": [4, 5], "b": ["u", "v"]}),
+        ]
+        pairwise = parts[0]
+        for part in parts[1:]:
+            pairwise = pairwise.concat(part)
+        assert concat_tables(parts) == pairwise
+
+    def test_concat_tables_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            concat_tables([Table({"a": [1]}), Table({"b": [2]})])
+
+    def test_concat_tables_single_copy(self):
+        part = Table({"a": [1]})
+        result = concat_tables([part])
+        assert result == part and result is not part
+
+    def test_partition_table_empty(self):
+        parts = partition_table(Table({"a": []}), 4)
+        assert len(parts) == 1 and parts[0].num_rows == 0
+
+    def test_parallel_map_partitions_accepts_closures(self):
+        offset = 10  # captured by the closure: not picklable as a pool task
+
+        def bump(part: Table) -> Table:
+            return Table({"v": [value + offset for value in part.column("v")]})
+
+        table = Table({"v": list(range(20))})
+        serial = parallel_map_partitions(table, bump, n_workers=1)
+        parallel = parallel_map_partitions(table, bump, n_workers=3)
+        assert serial == parallel
+        assert parallel.column("v") == [value + 10 for value in range(20)]
+
+
+class TestSetSimJoinEquivalence:
+    @pytest.mark.parametrize("measure,threshold", [
+        ("jaccard", 0.4),
+        ("jaccard", 0.8),
+        ("cosine", 0.6),
+        ("dice", 0.7),
+        ("overlap", 2),
+    ])
+    @pytest.mark.parametrize("use_prefix_filter", [True, False])
+    @pytest.mark.parametrize("kernel", ["mask", "merge"])
+    def test_matches_naive(self, measure, threshold, use_prefix_filter, kernel):
+        seed = hash((measure, threshold, use_prefix_filter, kernel)) % 1000
+        ltable, rtable = _random_tables(seed=seed)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        fast = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold,
+            use_prefix_filter=use_prefix_filter, kernel=kernel,
+        )
+        slow = naive_set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold
+        )
+        assert _pairs(fast) == _pairs(slow)
+        fast_scores = {(l, r): s for l, r, s in zip(fast["l_id"], fast["r_id"], fast["score"])}
+        slow_scores = {(l, r): s for l, r, s in zip(slow["l_id"], slow["r_id"], slow["score"])}
+        assert fast_scores == slow_scores  # identical floats, not just pairs
+
+    def test_qgram_tokens_match_naive(self):
+        ltable, rtable = _random_tables(seed=77, n=40)
+        tokenizer = QgramTokenizer(q=3, return_set=True)
+        fast = set_sim_join(ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.5)
+        slow = naive_set_sim_join(ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.5)
+        assert _pairs(fast) == _pairs(slow)
+
+    def test_kernels_agree_byte_identical(self):
+        ltable, rtable = _random_tables(seed=13)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        mask = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.5, kernel="mask"
+        )
+        merge = set_sim_join(
+            ltable, rtable, "id", "id", "v", "v", tokenizer, "jaccard", 0.5, kernel="merge"
+        )
+        assert mask == merge
+
+    def test_bad_kernel_rejected(self):
+        ltable, rtable = _random_tables(seed=1, n=5)
+        with pytest.raises(ConfigurationError):
+            set_sim_join(
+                ltable, rtable, "id", "id", "v", "v",
+                WhitespaceTokenizer(return_set=True), "jaccard", 0.5, kernel="simd",
+            )
+
+
+class TestParallelByteIdentity:
+    """n_jobs=1 and n_jobs=4 must produce byte-identical tables."""
+
+    def test_set_sim_join(self):
+        ltable, rtable = _random_tables(seed=21)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        for measure, threshold in [("jaccard", 0.5), ("overlap", 2)]:
+            serial = set_sim_join(
+                ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold
+            )
+            parallel = set_sim_join(
+                ltable, rtable, "id", "id", "v", "v", tokenizer, measure, threshold,
+                n_jobs=N_JOBS,
+            )
+            assert serial == parallel
+
+    def test_edit_distance_join(self):
+        rng = random.Random(3)
+        names = ["dave smith", "dan smith", "david smyth", "joe wilson", "jo wilson"]
+        ltable = Table({
+            "id": [f"a{i}" for i in range(40)],
+            "v": [rng.choice(names) for _ in range(40)],
+        })
+        rtable = Table({
+            "id": [f"b{i}" for i in range(40)],
+            "v": [rng.choice(names) for _ in range(40)],
+        })
+        serial = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=2)
+        parallel = edit_distance_join(
+            ltable, rtable, "id", "id", "v", "v", threshold=2, n_jobs=N_JOBS
+        )
+        assert serial == parallel
+        # and the filter still agrees with brute force
+        levenshtein = Levenshtein()
+        expected = {
+            (a, b)
+            for a, av in zip(ltable["id"], ltable["v"])
+            for b, bv in zip(rtable["id"], rtable["v"])
+            if levenshtein.get_raw_score(av, bv) <= 2
+        }
+        assert _pairs(serial) == expected
+
+    def test_overlap_blocker(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        blocker = OverlapBlocker("name", overlap_size=1)
+        serial = blocker.block_tables(table_a, table_b, "id", "id")
+        parallel = blocker.block_tables(table_a, table_b, "id", "id", n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_attr_equivalence_blocker(self):
+        rng = random.Random(5)
+        states = ["WI", "CA", "NY", None]
+        ltable = Table({
+            "id": list(range(30)),
+            "state": [rng.choice(states) for _ in range(30)],
+        })
+        rtable = Table({
+            "id": list(range(30)),
+            "state": [rng.choice(states) for _ in range(30)],
+        })
+        blocker = AttrEquivalenceBlocker("state")
+        serial = blocker.block_tables(ltable, rtable, "id", "id")
+        parallel = blocker.block_tables(ltable, rtable, "id", "id", n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_hash_blocker_with_lambda(self):
+        ltable = Table({"id": list(range(20)), "name": [f"n{i % 5}" for i in range(20)]})
+        rtable = Table({"id": list(range(20)), "name": [f"n{i % 7}" for i in range(20)]})
+        blocker = HashBlocker(lambda row: row["name"][:2])
+        serial = blocker.block_tables(ltable, rtable, "id", "id")
+        parallel = blocker.block_tables(ltable, rtable, "id", "id", n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_quadratic_fallback_blocker(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+
+        class SameInitialBlocker(Blocker):
+            def block_tuples(self, l_row, r_row):
+                return l_row["name"][0] != r_row["name"][0]
+
+        blocker = SameInitialBlocker()
+        serial = blocker.block_tables(table_a, table_b, "id", "id")
+        parallel = blocker.block_tables(table_a, table_b, "id", "id", n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_rule_based_blocker_join_path(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        features = get_features_for_blocking(table_a, table_b)
+        name = next(n for n in features.names() if "jaccard_ws" in n and n.startswith("name"))
+        blocker = RuleBasedBlocker()
+        blocker.add_rule([f"{name} < 0.2"], features)
+        assert blocker.is_join_executable
+        serial = blocker.block_tables(table_a, table_b, "id", "id")
+        parallel = blocker.block_tables(table_a, table_b, "id", "id", n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_block_candset(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        pairs = [(a, b) for a in table_a["id"] for b in table_b["id"]]
+        candset = make_candset(pairs, table_a, table_b, "id", "id")
+        blocker = AttrEquivalenceBlocker("state")
+        serial = blocker.block_candset(candset)
+        parallel = blocker.block_candset(candset, n_jobs=N_JOBS)
+        assert serial == parallel
+
+    def test_extract_feature_vecs(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        pairs = [(a, b) for a in table_a["id"] for b in table_b["id"]]
+        candset = make_candset(pairs, table_a, table_b, "id", "id")
+        features = get_features_for_blocking(table_a, table_b)
+        serial = extract_feature_vecs(candset, features)
+        parallel = extract_feature_vecs(candset, features, n_jobs=N_JOBS)
+        assert serial == parallel
+
+
+class TestExtractionMemo:
+    def test_none_feature_values_are_cached(self, figure1_tables):
+        table_a, table_b, _ = figure1_tables
+        calls = []
+
+        def always_none(l_value, r_value):
+            calls.append((l_value, r_value))
+            return None
+
+        feature = make_blackbox_feature("none_f", "city", "city", always_none)
+        # Two candidate pairs per distinct (l_city, r_city) combination.
+        pairs = [(a, b) for a in table_a["id"] for b in table_b["id"]] * 2
+        candset = make_candset(pairs, table_a, table_b, "id", "id")
+        result = extract_feature_vecs(candset, FeatureTable([feature]))
+        assert result.column("none_f") == [None] * candset.num_rows
+        distinct = {
+            (la, rb)
+            for la in table_a["city"]
+            for rb in table_b["city"]
+        }
+        assert len(calls) <= len(distinct)
+
+
+class TestTokenizerCachePickling:
+    def test_pickle_drops_cache(self):
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        tokenizer.tokenize_cached("dave smith")
+        assert getattr(tokenizer, "_cache", None)
+        clone = pickle.loads(pickle.dumps(tokenizer))
+        assert not hasattr(clone, "_cache")
+        assert clone.tokenize("dave smith") == tokenizer.tokenize("dave smith")
+
+    def test_clear_cache(self):
+        tokenizer = WhitespaceTokenizer()
+        tokenizer.tokenize_cached("a b")
+        tokenizer.clear_cache()
+        assert not hasattr(tokenizer, "_cache")
