@@ -84,6 +84,10 @@ def main() -> None:
     print(f"\nCandidate set: {candset.num_rows} pairs; per-step timing:")
     for record in workflow.records:
         print(f"   {record.name}: {record.seconds:.2f}s")
+    # The captured script ran as a runtime chain graph: its structured
+    # event stream is available for export to a monitoring stack.
+    print(f"   run events recorded: {len(workflow.events)} "
+          f"(workflow.events.write_jsonl(path) exports them)")
 
     # ---- multicore scaling ------------------------------------------
     for workers in (1, 2, 4):
@@ -112,8 +116,10 @@ def main() -> None:
         except RuntimeError:
             done = sorted(run.completed_partitions())
             print(f"   crashed; partitions {done} checkpointed")
-        result = run.execute(candset, predict_partition, n_partitions=6)
-        print(f"   resumed and finished: {result.num_rows} pairs "
+        # Resume on a fork pool: only the pending partitions are computed,
+        # and files/manifest/concat order stay byte-identical to serial.
+        result = run.execute(candset, predict_partition, n_partitions=6, n_jobs=2)
+        print(f"   resumed on 2 jobs and finished: {result.num_rows} pairs "
               f"(partitions {sorted(run.completed_partitions())})")
     print(f"   partitions of the candset: "
           f"{[p.num_rows for p in partition_table(candset, 6)]}")

@@ -118,12 +118,14 @@ def cmd_match(args) -> int:
 def cmd_falcon(args) -> int:
     """Self-service Falcon EM over two CSV tables."""
     from repro.falcon import FalconConfig, run_falcon
+    from repro.runtime import EventStream
 
     ltable = read_csv(args.ltable)
     rtable = read_csv(args.rtable)
     gold = _load_gold(args.gold) or set()
     dataset = EMDataset("cli", ltable, rtable, gold, args.key, args.key).register()
     session = LabelingSession(_labeler(args, ltable, rtable), budget=args.budget)
+    events = EventStream()
     result = run_falcon(
         dataset,
         session,
@@ -133,7 +135,11 @@ def cmd_falcon(args) -> int:
             matching_budget=args.budget,
             random_state=0,
         ),
+        events=events,
     )
+    if args.events:
+        events.write_jsonl(args.events)
+        print(f"{len(events)} run events written to {args.events}")
     print(f"blocking rules retained: {len(result.rules)}")
     for rule in result.rules:
         print(f"   {rule}")
@@ -230,6 +236,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--block-on", default=None, help="blocking attribute")
         p.add_argument("--overlap", type=int, default=1, help="token overlap size")
         p.add_argument("--output", default="matches.csv")
+        if name == "falcon":
+            p.add_argument(
+                "--events", default=None, metavar="PATH",
+                help="write the structured run-event log (JSONL) here",
+            )
         p.set_defaults(fn=fn)
 
     p = sub.add_parser("dedupe", help="deduplicate one table")

@@ -12,11 +12,16 @@ that the metamanager schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
 from repro.cloud.services import Service, ServiceKind, ServiceRegistry
 from repro.exceptions import WorkflowError
+from repro.runtime import OperatorGraph
+
+if TYPE_CHECKING:
+    from repro.cloud.context import WorkflowContext
 
 
 @dataclass(frozen=True)
@@ -63,8 +68,40 @@ class EMWorkflow:
         """All calls in a valid execution order."""
         return [self._calls[node] for node in nx.topological_sort(self.graph)]
 
+    def to_runtime_graph(self, context: "WorkflowContext") -> OperatorGraph:
+        """Compile the whole workflow to a runtime operator graph.
+
+        Each service call becomes one operator over the context's artifact
+        dict (the runtime store *is* ``context.artifacts``); the operator
+        returns the service's simulated human/crowd seconds, which the
+        runtime records as ``sim_seconds`` on the node's events.
+        """
+        graph = OperatorGraph(self.name)
+        for call in self.topological_calls():
+            graph.add(
+                call.node_id,
+                _service_operator(call, context),
+                deps=tuple(sorted(self.graph.predecessors(call.node_id))),
+                description=call.service.description,
+                checkpoint=False,  # services write undeclared context slots
+            )
+        return graph
+
     def __len__(self) -> int:
         return len(self._calls)
+
+
+def _service_operator(call: ServiceCall, context: "WorkflowContext"):
+    """Wrap a service call as a runtime operator body.
+
+    The store handed to the operator is ``context.artifacts`` itself, so
+    services keep communicating through ``ctx.put``/``ctx.get`` unchanged.
+    """
+
+    def operator(store) -> float:
+        return call.service.run(context)
+
+    return operator
 
 
 @dataclass
@@ -75,6 +112,31 @@ class Fragment:
     workflow: EMWorkflow
     kind: ServiceKind
     calls: list[ServiceCall] = field(default_factory=list)
+
+    def to_runtime_graph(self, context: "WorkflowContext") -> OperatorGraph:
+        """This fragment as a runtime subgraph of its workflow's graph.
+
+        Dependencies are restricted to intra-fragment edges — by the
+        fragment contract, every external predecessor has already run
+        when the metamanager dispatches the fragment.
+        """
+        graph = OperatorGraph(self.workflow.name)
+        members = {call.node_id for call in self.calls}
+        for call in self.calls:  # already in workflow topological order
+            graph.add(
+                call.node_id,
+                _service_operator(call, context),
+                deps=tuple(
+                    sorted(
+                        p
+                        for p in self.workflow.graph.predecessors(call.node_id)
+                        if p in members
+                    )
+                ),
+                description=call.service.description,
+                checkpoint=False,
+            )
+        return graph
 
     def __repr__(self) -> str:
         return (

@@ -9,6 +9,16 @@ measured machine time plus the simulated human/crowd seconds its services
 report.  Interleaving lets a batch fragment of one workflow run while
 another workflow waits on its user — the source of the multi-tenant
 throughput win benchmarked for Figure 5.
+
+Fragments are no longer bespoke call lists: each fragment compiles to a
+:class:`repro.runtime.OperatorGraph` subgraph and runs on the shared
+runtime core, so every service invocation lands on the metamanager's
+structured :class:`repro.runtime.EventStream` (exportable as JSONL via
+:meth:`MetaManager.write_event_log`) with wall and simulated time.
+
+Readiness tracking is incremental: each run keeps remaining-predecessor
+counts per fragment, decremented on completion — O(F + E) over a whole
+workflow instead of the previous per-dispatch O(F^2) rescan.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import networkx as nx
 
@@ -23,6 +34,7 @@ from repro.cloud.context import WorkflowContext
 from repro.cloud.dag import EMWorkflow, Fragment, decompose_fragments
 from repro.cloud.services import ServiceKind
 from repro.exceptions import WorkflowError
+from repro.runtime import EventStream, SerialExecutor, run_graph
 
 
 @dataclass
@@ -37,32 +49,44 @@ class FragmentExecution:
 
 
 class ExecutionEngine:
-    """Runs fragments of one kind; tracks simulated busy time."""
+    """Runs fragments of one kind; tracks simulated busy time.
 
-    def __init__(self, kind: ServiceKind):
+    When the owning metamanager hands the engine an event stream, every
+    node of every fragment it executes is emitted there.
+    """
+
+    def __init__(self, kind: ServiceKind, events: EventStream | None = None):
         self.kind = kind
         self.busy_until = 0.0
         self.executions: list[FragmentExecution] = []
+        self.events = events
 
     def execute(
         self, fragment: Fragment, context: WorkflowContext, now: float
     ) -> FragmentExecution:
-        """Execute a fragment's services; returns the timing record.
+        """Execute a fragment as a runtime subgraph; returns the record.
 
-        The services run for real (mutating the context); their machine
-        time is measured and their human/crowd time is whatever they
-        report.  Simulated start is max(now, engine free).
+        The fragment's services run for real (mutating the context, which
+        backs the runtime store); their machine time is measured and their
+        human/crowd time is whatever the nodes report as simulated
+        seconds.  Simulated start is max(now, engine free).
         """
         if fragment.kind != self.kind:
             raise WorkflowError(
                 f"{self.kind.value} engine cannot run a {fragment.kind.value} fragment"
             )
         start = max(now, self.busy_until)
-        human_seconds = 0.0
+        graph = fragment.to_runtime_graph(context)
         wall_start = time.perf_counter()
-        for call in fragment.calls:
-            human_seconds += call.service.run(context)
+        result = run_graph(
+            graph,
+            context.artifacts,
+            executor=SerialExecutor(),
+            events=self.events,
+            sim_at=start,
+        )
         machine_seconds = time.perf_counter() - wall_start
+        human_seconds = result.sim_seconds()
         end = start + machine_seconds + human_seconds
         record = FragmentExecution(fragment, start, end, machine_seconds, human_seconds)
         self.busy_until = end
@@ -72,7 +96,12 @@ class ExecutionEngine:
 
 @dataclass
 class WorkflowRun:
-    """One workflow admitted to the metamanager."""
+    """One workflow admitted to the metamanager.
+
+    Fragment readiness is tracked incrementally: ``_remaining`` holds each
+    fragment's count of unfinished predecessors and ``_ready`` the ids
+    whose count reached zero, updated by :meth:`complete` — no rescans.
+    """
 
     workflow: EMWorkflow
     context: WorkflowContext
@@ -80,6 +109,48 @@ class WorkflowRun:
     fragment_dag: "nx.DiGraph | None" = None
     completed: set[str] = field(default_factory=set)
     finish_time: float = 0.0
+    _by_id: dict[str, Fragment] = field(default_factory=dict, repr=False)
+    _position: dict[str, int] = field(default_factory=dict, repr=False)
+    _remaining: dict[str, int] = field(default_factory=dict, repr=False)
+    _ready: list[str] = field(default_factory=list, repr=False)
+
+    def index_fragments(self) -> None:
+        """(Re)build the incremental readiness state from the fragment DAG."""
+        self._by_id = {fragment.fragment_id: fragment for fragment in self.fragments}
+        self._position = {
+            fragment.fragment_id: i for i, fragment in enumerate(self.fragments)
+        }
+        self._remaining = {
+            fragment_id: self.fragment_dag.in_degree(fragment_id)
+            for fragment_id in self._by_id
+        }
+        self._ready = [
+            fragment.fragment_id
+            for fragment in self.fragments  # already topologically ordered
+            if self._remaining[fragment.fragment_id] == 0
+            and fragment.fragment_id not in self.completed
+        ]
+
+    def ready_fragments(self) -> list[Fragment]:
+        """Fragments whose predecessors have all completed, in DAG order."""
+        return [self._by_id[fragment_id] for fragment_id in self._ready]
+
+    def complete(self, fragment_id: str) -> None:
+        """Mark a fragment done; newly unblocked successors become ready."""
+        if fragment_id in self.completed:
+            return
+        self.completed.add(fragment_id)
+        if fragment_id in self._ready:
+            self._ready.remove(fragment_id)
+        newly_ready = []
+        for successor in self.fragment_dag.successors(fragment_id):
+            self._remaining[successor] -= 1
+            if self._remaining[successor] == 0 and successor not in self.completed:
+                newly_ready.append(successor)
+        if newly_ready:
+            self._ready = sorted(
+                self._ready + newly_ready, key=self._position.__getitem__
+            )
 
     @property
     def done(self) -> bool:
@@ -94,17 +165,21 @@ class MetaManager:
     frees up first; ties go to the workflow admitted earlier.  With
     ``interleave=False`` it degrades to CloudMatcher 0.1 behaviour — one
     workflow runs to completion before the next starts.
+
+    All engines share one :class:`~repro.runtime.EventStream`; per-node
+    events of every workflow land there in dispatch order.
     """
 
-    def __init__(self, interleave: bool = True):
+    def __init__(self, interleave: bool = True, events: EventStream | None = None):
         self.interleave = interleave
+        self.events = events if events is not None else EventStream()
         # The batch cluster and the crowd are shared infrastructure; user
         # interaction is not — each submitted task has its own owner
         # answering its questions, so every run gets a private
         # user-interaction engine.
         self.engines = {
-            ServiceKind.BATCH: ExecutionEngine(ServiceKind.BATCH),
-            ServiceKind.CROWD: ExecutionEngine(ServiceKind.CROWD),
+            ServiceKind.BATCH: ExecutionEngine(ServiceKind.BATCH, self.events),
+            ServiceKind.CROWD: ExecutionEngine(ServiceKind.CROWD, self.events),
         }
         self._user_engines: dict[int, ExecutionEngine] = {}
         self.runs: list[WorkflowRun] = []
@@ -114,7 +189,7 @@ class MetaManager:
         if kind is ServiceKind.USER_INTERACTION:
             engine = self._user_engines.get(id(run))
             if engine is None:
-                engine = self._user_engines[id(run)] = ExecutionEngine(kind)
+                engine = self._user_engines[id(run)] = ExecutionEngine(kind, self.events)
             return engine
         return self.engines[kind]
 
@@ -126,21 +201,15 @@ class MetaManager:
         """Admit a workflow; fragments are computed at admission."""
         run = WorkflowRun(workflow, context)
         run.fragments, run.fragment_dag = decompose_fragments(workflow)
+        run.index_fragments()
         self.runs.append(run)
         return run
 
-    # ------------------------------------------------------------------
-    def _ready_fragments(self, run: WorkflowRun) -> list[Fragment]:
-        by_id = {fragment.fragment_id: fragment for fragment in run.fragments}
-        ready = []
-        for fragment in run.fragments:
-            if fragment.fragment_id in run.completed:
-                continue
-            predecessors = run.fragment_dag.predecessors(fragment.fragment_id)
-            if all(p in run.completed for p in predecessors):
-                ready.append(by_id[fragment.fragment_id])
-        return ready
+    def write_event_log(self, path: str | Path) -> Path:
+        """Export every node event of every executed workflow as JSONL."""
+        return self.events.write_jsonl(path)
 
+    # ------------------------------------------------------------------
     def run_all(self) -> float:
         """Execute every admitted workflow; returns the simulated makespan."""
         if not self.runs:
@@ -155,14 +224,14 @@ class MetaManager:
 
     def _run_serial(self, run: WorkflowRun, clock: float) -> float:
         while not run.done:
-            ready = self._ready_fragments(run)
+            ready = run.ready_fragments()
             if not ready:
                 raise WorkflowError("workflow deadlocked: no ready fragments")
             for fragment in ready:
                 engine = self.engine_for(run, fragment.kind)
                 record = engine.execute(fragment, run.context, clock)
                 clock = max(clock, record.end)
-                run.completed.add(fragment.fragment_id)
+                run.complete(fragment.fragment_id)
         return clock
 
     def _run_interleaved(self) -> float:
@@ -176,7 +245,7 @@ class MetaManager:
         def push_ready(run: "WorkflowRun", order: int, now: float) -> None:
             nonlocal sequence
             dispatched = {entry[4].fragment_id for entry in heap}
-            for fragment in self._ready_fragments(run):
+            for fragment in run.ready_fragments():
                 if fragment.fragment_id in dispatched:
                     continue
                 engine = self.engine_for(run, fragment.kind)
@@ -194,7 +263,7 @@ class MetaManager:
                 continue
             engine = self.engine_for(run, fragment.kind)
             record = engine.execute(fragment, run.context, at)
-            run.completed.add(fragment.fragment_id)
+            run.complete(fragment.fragment_id)
             makespan = max(makespan, record.end)
             if run.done:
                 run.finish_time = record.end

@@ -44,6 +44,7 @@ from repro.features.generation import (
     get_features_for_matching,
 )
 from repro.labeling.session import LabelingSession
+from repro.runtime import EventStream, OperatorGraph, run_graph
 from repro.table.table import Table
 
 Pair = tuple[Any, Any]
@@ -156,130 +157,225 @@ def _sample_pairs(
     )
 
 
+def build_falcon_graph(
+    dataset: EMDataset,
+    session: LabelingSession,
+    config: FalconConfig,
+    cat: Catalog,
+) -> OperatorGraph:
+    """Falcon's stages as a runtime operator graph (Figure 3 as a DAG).
+
+    Every node reads and writes the shared artifact store; branches that
+    are independent in the figure (sampling vs. feature generation) are
+    independent in the graph.  Nodes are not ``isolated`` — the labeling
+    session and catalog mutate in-process state that must stay in the
+    parent.
+    """
+    graph = OperatorGraph(f"falcon/{dataset.name}")
+
+    def sample(store) -> None:
+        store["sample"] = _sample_pairs(
+            dataset, config.sample_size, config.random_state, cat
+        )
+
+    def blocking_features(store) -> None:
+        store["blocking_features"] = get_features_for_blocking(
+            dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+        )
+
+    def sample_vectors(store) -> None:
+        features = store["blocking_features"]
+        sample_fv = extract_feature_vecs(store["sample"], features, cat)
+        store["feature_names"] = features.names()
+        store["X_sample"] = feature_matrix(
+            sample_fv, store["feature_names"], impute=False
+        )
+        meta = cat.get_candset_metadata(store["sample"])
+        store["sample_pairs"] = list(
+            zip(
+                store["sample"].column(meta.fk_ltable),
+                store["sample"].column(meta.fk_rtable),
+            )
+        )
+
+    def learn_blocking(store) -> None:
+        store["blocking_stage"] = active_learn_forest(
+            store["sample_pairs"],
+            store["X_sample"],
+            session,
+            feature_names=store["feature_names"],
+            n_trees=config.n_trees,
+            seed_size=config.seed_size,
+            batch_size=config.batch_size,
+            max_iterations=config.max_iterations,
+            max_questions=config.blocking_budget,
+            random_state=config.random_state,
+        )
+
+    def extract_rules(store) -> None:
+        store["rule_candidates"] = extract_rules_from_forest(
+            store["blocking_stage"].forest, store["blocking_features"]
+        )
+
+    def evaluate(store) -> None:
+        stage = store["blocking_stage"]
+        X_labeled = np.where(
+            np.isnan(store["X_sample"][stage.labeled_indices]),
+            0.0,
+            store["X_sample"][stage.labeled_indices],
+        )
+        store["rule_evaluations"] = evaluate_rules(
+            store["rule_candidates"],
+            X_labeled,
+            np.array(stage.labels),
+            store["feature_names"],
+        )
+
+    def select(store) -> None:
+        store["rules"] = select_precise_rules(
+            store["rule_evaluations"],
+            min_precision=config.min_rule_precision,
+            min_coverage=config.min_rule_coverage,
+            max_rules=config.max_rules,
+        )
+
+    def execute_blocking(store) -> None:
+        rules = store["rules"]
+        if rules:
+            survivor_pairs = execute_rules(
+                rules, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+            )
+            store["candset"] = make_candset(
+                sorted(survivor_pairs),
+                dataset.ltable,
+                dataset.rtable,
+                dataset.l_key,
+                dataset.r_key,
+                catalog=cat,
+            )
+            store["used_fallback"] = False
+        else:
+            # No precise executable rule: fall back to a conservative
+            # overlap blocker on the designated (or first string) attribute.
+            attr = config.fallback_overlap_attr
+            if attr is None:
+                attr = next(
+                    name for name in dataset.ltable.columns if name != dataset.l_key
+                )
+            blocker = OverlapBlocker(attr, overlap_size=1)
+            store["candset"] = blocker.block_tables(
+                dataset.ltable,
+                dataset.rtable,
+                dataset.l_key,
+                dataset.r_key,
+                catalog=cat,
+            )
+            store["used_fallback"] = True
+
+    def matching_features(store) -> None:
+        store["matching_features"] = get_features_for_matching(
+            dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
+        )
+
+    def candidate_vectors(store) -> None:
+        candset = store["candset"]
+        features = store["matching_features"]
+        candset_fv = extract_feature_vecs(candset, features, cat)
+        store["match_feature_names"] = features.names()
+        store["X_cand"] = feature_matrix(
+            candset_fv, store["match_feature_names"], impute=False
+        )
+        cand_meta = cat.get_candset_metadata(candset)
+        store["cand_pairs"] = list(
+            zip(candset.column(cand_meta.fk_ltable), candset.column(cand_meta.fk_rtable))
+        )
+        if not store["cand_pairs"]:
+            raise ConfigurationError("blocking produced an empty candidate set")
+
+    def learn_matching(store) -> None:
+        store["matching_stage"] = active_learn_forest(
+            store["cand_pairs"],
+            store["X_cand"],
+            session,
+            feature_names=store["match_feature_names"],
+            n_trees=config.n_trees,
+            seed_size=config.seed_size,
+            batch_size=config.batch_size,
+            max_iterations=config.max_iterations,
+            max_questions=config.matching_budget,
+            random_state=config.random_state + 1,
+        )
+
+    def predict(store) -> None:
+        candset = store["candset"]
+        predictions = store["matching_stage"].forest.predict_with_alpha(
+            np.where(np.isnan(store["X_cand"]), 0.0, store["X_cand"]),
+            alpha=config.alpha,
+        )
+        store["predictions"] = [int(p) for p in predictions]
+        match_rows = [i for i, p in enumerate(predictions) if p == 1]
+        matches = candset.take(match_rows)
+        cand_meta = cat.get_candset_metadata(candset)
+        cat.set_candset_metadata(
+            matches,
+            cand_meta.key,
+            cand_meta.fk_ltable,
+            cand_meta.fk_rtable,
+            cand_meta.ltable,
+            cand_meta.rtable,
+        )
+        store["matches"] = matches
+
+    graph.add("sample", sample, description="sample pairs from A x B")
+    graph.add("blocking_features", blocking_features, description="generate blocking features")
+    graph.add("sample_vectors", sample_vectors, deps=("sample", "blocking_features"))
+    graph.add("learn_blocking", learn_blocking, deps=("sample_vectors",),
+              description="actively learn the blocking forest")
+    graph.add("extract_rules", extract_rules, deps=("learn_blocking",))
+    graph.add("evaluate_rules", evaluate, deps=("extract_rules",))
+    graph.add("select_rules", select, deps=("evaluate_rules",))
+    graph.add("execute_blocking", execute_blocking, deps=("select_rules",),
+              description="execute rules as similarity joins (or fallback blocker)")
+    graph.add("matching_features", matching_features, description="generate matching features")
+    graph.add("candidate_vectors", candidate_vectors,
+              deps=("execute_blocking", "matching_features"))
+    graph.add("learn_matching", learn_matching, deps=("candidate_vectors",),
+              description="actively learn the matching forest")
+    graph.add("predict", predict, deps=("learn_matching",),
+              description="alpha-vote the matching forest over the candset")
+    return graph
+
+
 def run_falcon(
     dataset: EMDataset,
     session: LabelingSession,
     config: FalconConfig | None = None,
     catalog: Catalog | None = None,
+    events: EventStream | None = None,
 ) -> FalconResult:
-    """Run the end-to-end Falcon workflow on an EM dataset."""
+    """Run the end-to-end Falcon workflow on an EM dataset.
+
+    The stages execute as a :class:`repro.runtime.OperatorGraph`; pass an
+    ``events`` stream to observe per-stage structured events with wall
+    timings (or export them as JSONL afterwards).
+    """
     config = config or FalconConfig()
     cat = catalog if catalog is not None else get_catalog()
     dataset.register(cat)
     started = time.perf_counter()
 
-    # ---- Stage 1: learn blocking rules ------------------------------
-    sample = _sample_pairs(dataset, config.sample_size, config.random_state, cat)
-    blocking_features = get_features_for_blocking(
-        dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
-    )
-    sample_fv = extract_feature_vecs(sample, blocking_features, cat)
-    feature_names = blocking_features.names()
-    X_sample = feature_matrix(sample_fv, feature_names, impute=False)
-    meta = cat.get_candset_metadata(sample)
-    sample_pairs = list(
-        zip(sample.column(meta.fk_ltable), sample.column(meta.fk_rtable))
-    )
-    blocking_stage = active_learn_forest(
-        sample_pairs,
-        X_sample,
-        session,
-        feature_names=feature_names,
-        n_trees=config.n_trees,
-        seed_size=config.seed_size,
-        batch_size=config.batch_size,
-        max_iterations=config.max_iterations,
-        max_questions=config.blocking_budget,
-        random_state=config.random_state,
-    )
-
-    # ---- Stage 2: extract, evaluate, and execute rules ---------------
-    candidates = extract_rules_from_forest(blocking_stage.forest, blocking_features)
-    X_labeled = np.where(np.isnan(X_sample[blocking_stage.labeled_indices]), 0.0, X_sample[blocking_stage.labeled_indices])
-    y_labeled = np.array(blocking_stage.labels)
-    rule_evaluations = evaluate_rules(candidates, X_labeled, y_labeled, feature_names)
-    rules = select_precise_rules(
-        rule_evaluations,
-        min_precision=config.min_rule_precision,
-        min_coverage=config.min_rule_coverage,
-        max_rules=config.max_rules,
-    )
-
-    used_fallback = False
-    if rules:
-        survivor_pairs = execute_rules(
-            rules, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
-        )
-        candset = make_candset(
-            sorted(survivor_pairs),
-            dataset.ltable,
-            dataset.rtable,
-            dataset.l_key,
-            dataset.r_key,
-            catalog=cat,
-        )
-    else:
-        # No precise executable rule: fall back to a conservative overlap
-        # blocker on the designated (or first string) attribute.
-        used_fallback = True
-        attr = config.fallback_overlap_attr
-        if attr is None:
-            attr = next(
-                name for name in dataset.ltable.columns if name != dataset.l_key
-            )
-        blocker = OverlapBlocker(attr, overlap_size=1)
-        candset = blocker.block_tables(
-            dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key, catalog=cat
-        )
-
-    # ---- Stage 3: learn and apply the matcher ------------------------
-    matching_features = get_features_for_matching(
-        dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key
-    )
-    candset_fv = extract_feature_vecs(candset, matching_features, cat)
-    match_feature_names = matching_features.names()
-    X_cand = feature_matrix(candset_fv, match_feature_names, impute=False)
-    cand_meta = cat.get_candset_metadata(candset)
-    cand_pairs = list(
-        zip(candset.column(cand_meta.fk_ltable), candset.column(cand_meta.fk_rtable))
-    )
-    if not cand_pairs:
-        raise ConfigurationError("blocking produced an empty candidate set")
-    matching_stage = active_learn_forest(
-        cand_pairs,
-        X_cand,
-        session,
-        feature_names=match_feature_names,
-        n_trees=config.n_trees,
-        seed_size=config.seed_size,
-        batch_size=config.batch_size,
-        max_iterations=config.max_iterations,
-        max_questions=config.matching_budget,
-        random_state=config.random_state + 1,
-    )
-    predictions = matching_stage.forest.predict_with_alpha(
-        np.where(np.isnan(X_cand), 0.0, X_cand), alpha=config.alpha
-    )
-    match_rows = [i for i, p in enumerate(predictions) if p == 1]
-    matches = candset.take(match_rows)
-    cat.set_candset_metadata(
-        matches,
-        cand_meta.key,
-        cand_meta.fk_ltable,
-        cand_meta.fk_rtable,
-        cand_meta.ltable,
-        cand_meta.rtable,
-    )
+    graph = build_falcon_graph(dataset, session, config, cat)
+    store = run_graph(graph, events=events).store
 
     return FalconResult(
-        candset=candset,
-        matches=matches,
-        predictions=[int(p) for p in predictions],
-        rules=rules,
-        rule_evaluations=rule_evaluations,
-        blocking_stage=blocking_stage,
-        matching_stage=matching_stage,
+        candset=store["candset"],
+        matches=store["matches"],
+        predictions=store["predictions"],
+        rules=store["rules"],
+        rule_evaluations=store["rule_evaluations"],
+        blocking_stage=store["blocking_stage"],
+        matching_stage=store["matching_stage"],
         questions=session.questions_asked,
         machine_seconds=time.perf_counter() - started,
-        used_fallback_blocker=used_fallback,
+        used_fallback_blocker=store["used_fallback"],
     )

@@ -248,6 +248,22 @@ PRODUCTION_GUIDE: tuple[GuideStep, ...] = (
         ),
     ),
     GuideStep(
+        "orchestrate",
+        "Express the workflow as an operator DAG on the shared runtime.",
+        (
+            _cmd("OperatorGraph", "repro.runtime:OperatorGraph", "repro.runtime"),
+            _cmd("OperatorGraph.add", "repro.runtime:OperatorGraph.add", "repro.runtime"),
+            _cmd("chain_graph", "repro.runtime:chain_graph", "repro.runtime"),
+            _cmd("run_graph", "repro.runtime:run_graph", "repro.runtime"),
+            _cmd("SerialExecutor", "repro.runtime:SerialExecutor", "repro.runtime"),
+            _cmd("ParallelExecutor", "repro.runtime:ParallelExecutor", "repro.runtime"),
+            _cmd("EventStream", "repro.runtime:EventStream", "repro.runtime"),
+            _cmd("EventStream.write_jsonl", "repro.runtime:EventStream.write_jsonl", "repro.runtime"),
+            _cmd("NodeMemo", "repro.runtime:NodeMemo", "repro.runtime"),
+            _cmd("GraphCheckpoint", "repro.runtime:GraphCheckpoint", "repro.runtime"),
+        ),
+    ),
+    GuideStep(
         "operate",
         "Log, checkpoint, recover from crashes, monitor progress.",
         (

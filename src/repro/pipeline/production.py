@@ -29,7 +29,9 @@ from repro.perf.parallel import (  # noqa: F401  (compatibility re-exports)
     concat_tables as _concat_all,
     parallel_map_partitions,
     partition_table,
+    run_sharded,
 )
+from repro.runtime import atomic_write_text
 from repro.table.io import read_csv, write_csv
 from repro.table.table import Table
 
@@ -58,7 +60,9 @@ class CheckpointedRun:
         return {"run_id": self.run_id, "n_partitions": None, "completed": []}
 
     def _save_manifest(self, manifest: dict[str, Any]) -> None:
-        self._manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        # Atomic (temp file + rename): a crash mid-write must not leave a
+        # truncated manifest that would poison the resume.
+        atomic_write_text(self._manifest_path, json.dumps(manifest, indent=2))
 
     def completed_partitions(self) -> set[int]:
         """Indices of partitions already finished in a previous run."""
@@ -70,12 +74,18 @@ class CheckpointedRun:
         table: Table,
         fn: Callable[[Table], Table],
         n_partitions: int = 4,
+        n_jobs: int = 1,
     ) -> Table:
         """Run ``fn`` over each partition, checkpointing each result.
 
         Deterministic partitioning means a resumed run sees the same
         partitions; already-checkpointed partitions are loaded from disk
         and not recomputed.
+
+        With ``n_jobs`` > 1 the pending partitions are computed on a
+        forked process pool; checkpoint files, the manifest, and the
+        concatenated output are written by the parent in partition-index
+        order, so they are byte-identical to a serial run.
         """
         manifest = self._manifest()
         if manifest["n_partitions"] not in (None, n_partitions):
@@ -87,15 +97,37 @@ class CheckpointedRun:
         manifest["n_partitions"] = n_partitions
         partitions = partition_table(table, n_partitions)
         completed = set(manifest["completed"])
+        pending = [
+            index
+            for index in range(len(partitions))
+            if not (index in completed and (self.directory / f"part_{index}.csv").exists())
+        ]
+
+        computed: dict[int, Table] = {}
+        if n_jobs != 1 and len(pending) > 1:
+            logger.info(
+                "run %s: computing %d pending partitions on %d jobs",
+                self.run_id, len(pending), n_jobs,
+            )
+            results = run_sharded(
+                [partitions[index] for index in pending],
+                fn,
+                n_jobs=n_jobs,
+            )
+            computed = dict(zip(pending, results))
+
         outputs: list[Table] = []
         for index, partition in enumerate(partitions):
             part_path = self.directory / f"part_{index}.csv"
-            if index in completed and part_path.exists():
+            if index not in pending:
                 logger.info("run %s: partition %d restored from checkpoint", self.run_id, index)
                 outputs.append(read_csv(part_path))
                 continue
-            logger.info("run %s: partition %d computing", self.run_id, index)
-            result = fn(partition)
+            if index in computed:
+                result = computed[index]
+            else:
+                logger.info("run %s: partition %d computing", self.run_id, index)
+                result = fn(partition)
             write_csv(result, part_path)
             completed.add(index)
             manifest["completed"] = sorted(completed)

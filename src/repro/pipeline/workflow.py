@@ -3,18 +3,32 @@
 After the development stage the user has "an accurate EM workflow W,
 captured as a Python script (of a sequence of commands)".
 :class:`MagellanWorkflow` is that script as an object: an ordered list of
-named steps (each an arbitrary callable over a shared artifact store) that
-can be re-executed in production, logged, and timed step by step.
+named steps (each an arbitrary callable over a shared artifact store).
+
+Execution is no longer a private loop: the step list compiles to a
+chain-shaped :class:`repro.runtime.OperatorGraph` and runs on the shared
+runtime core, so captured workflows get the same structured event stream,
+memoization, and DAG checkpointing as the cloud metamanager and Falcon.
+The public API (``add_step`` / ``run`` / ``records`` / ``total_seconds``)
+is unchanged.
 """
 
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.exceptions import WorkflowError
+from repro.runtime import (
+    EventStream,
+    GraphCheckpoint,
+    NodeMemo,
+    OperatorGraph,
+    chain_graph,
+    run_graph,
+)
+from repro.runtime.events import NODE_FAIL, NODE_FINISH, NODE_START, RunEvent
 
 logger = logging.getLogger("repro.pipeline")
 
@@ -38,6 +52,26 @@ class WorkflowStep:
     description: str = ""
 
 
+def _log_sink(workflow_name: str) -> Callable[[RunEvent], None]:
+    """An event sink reproducing the historical per-step log lines."""
+
+    def sink(event: RunEvent) -> None:
+        if event.event == NODE_START:
+            logger.info("workflow %s: step %s starting", workflow_name, event.node)
+        elif event.event == NODE_FINISH:
+            logger.info(
+                "workflow %s: step %s finished in %.3fs",
+                workflow_name, event.node, event.wall_seconds,
+            )
+        elif event.event == NODE_FAIL:
+            logger.error(
+                "workflow %s: step %s failed after %.3fs: %s",
+                workflow_name, event.node, event.wall_seconds, event.error,
+            )
+
+    return sink
+
+
 class MagellanWorkflow:
     """An ordered, re-runnable sequence of EM steps."""
 
@@ -46,6 +80,7 @@ class MagellanWorkflow:
         self.steps: list[WorkflowStep] = []
         self.artifacts: dict[str, Any] = {}
         self.records: list[StepRecord] = []
+        self.events: EventStream | None = None  # stream of the last run
 
     def add_step(
         self,
@@ -59,37 +94,51 @@ class MagellanWorkflow:
         self.steps.append(WorkflowStep(name, fn, description))
         return self
 
-    def run(self, stop_on_error: bool = True) -> dict[str, Any]:
+    def to_runtime_graph(self) -> OperatorGraph:
+        """Compile the step list to a chain-shaped runtime graph."""
+        return chain_graph(self.name, [(step.name, step.fn) for step in self.steps])
+
+    def run(
+        self,
+        stop_on_error: bool = True,
+        events: EventStream | None = None,
+        memo: NodeMemo | None = None,
+        checkpoint: GraphCheckpoint | None = None,
+    ) -> dict[str, Any]:
         """Execute all steps in order; returns the artifact store.
 
-        Each step is timed and logged.  On failure, the error is recorded;
-        with ``stop_on_error`` (default) execution halts and the exception
-        propagates after recording — production runs want the failure
-        loud, not swallowed.
+        Each step is timed, logged, and emitted on the structured event
+        stream.  On failure, the error is recorded; with ``stop_on_error``
+        (default) execution halts and the exception propagates after
+        recording — production runs want the failure loud, not swallowed.
+
+        ``events``, ``memo``, and ``checkpoint`` are passed through to the
+        runtime core: pass a :class:`repro.runtime.GraphCheckpoint` to
+        make a crashed production run resume at the first non-checkpointed
+        step (steps must declare no out-of-store effects for that to be
+        sound), or an :class:`repro.runtime.EventStream` to share one
+        stream across many workflow runs.
         """
+        self.events = events if events is not None else EventStream()
+        sink = self.events.subscribe(_log_sink(self.name))
         self.records = []
-        for step in self.steps:
-            logger.info("workflow %s: step %s starting", self.name, step.name)
-            started = time.perf_counter()
-            try:
-                step.fn(self.artifacts)
-            except Exception as exc:
-                seconds = time.perf_counter() - started
-                self.records.append(StepRecord(step.name, seconds, False, repr(exc)))
-                logger.exception(
-                    "workflow %s: step %s failed after %.3fs",
-                    self.name,
-                    step.name,
-                    seconds,
-                )
-                if stop_on_error:
-                    raise
-                continue
-            seconds = time.perf_counter() - started
-            self.records.append(StepRecord(step.name, seconds, True))
-            logger.info(
-                "workflow %s: step %s finished in %.3fs", self.name, step.name, seconds
+        try:
+            result = run_graph(
+                self.to_runtime_graph(),
+                self.artifacts,
+                events=self.events,
+                memo=memo,
+                checkpoint=checkpoint,
+                on_error="halt" if stop_on_error else "continue",
             )
+        finally:
+            self.events.unsubscribe(sink)
+        self.records = [
+            StepRecord(record.name, record.seconds, record.ok, record.error)
+            for record in result.records.values()
+        ]
+        if stop_on_error and result.first_error is not None:
+            raise result.first_error
         return self.artifacts
 
     def total_seconds(self) -> float:

@@ -1,0 +1,84 @@
+"""repro.runtime — the shared operator-DAG execution core.
+
+One substrate under all three workflow stacks (Section 4.1's
+interoperability principle applied to execution itself):
+
+* :mod:`~repro.runtime.graph` — the typed operator-DAG IR;
+* :mod:`~repro.runtime.executor` — serial and fork-parallel executors
+  built on :mod:`repro.perf.parallel`;
+* :mod:`~repro.runtime.events` — the structured run-event stream with
+  JSONL export;
+* :mod:`~repro.runtime.checkpoint` — fingerprint memoization and
+  DAG-level checkpointing/crash recovery.
+
+``pipeline.MagellanWorkflow`` compiles to a chain graph, the cloud
+metamanager executes service fragments as runtime subgraphs, and
+Falcon/Smurf express their stages as runtime graphs — three thin
+front-ends, one execution core.  See ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.runtime.checkpoint import (
+    GraphCheckpoint,
+    NodeMemo,
+    atomic_write_text,
+    fingerprint,
+    node_fingerprints,
+)
+from repro.runtime.events import (
+    CACHE_HIT,
+    CHECKPOINT_RESTORED,
+    CHECKPOINT_SAVED,
+    EVENT_TYPES,
+    NODE_FAIL,
+    NODE_FINISH,
+    NODE_RETRY,
+    NODE_START,
+    RUN_FINISH,
+    RUN_START,
+    EventStream,
+    RunEvent,
+    read_jsonl,
+)
+from repro.runtime.executor import (
+    ParallelExecutor,
+    RunResult,
+    SerialExecutor,
+    run_graph,
+)
+from repro.runtime.graph import (
+    ArtifactStore,
+    NodeRecord,
+    Operator,
+    OperatorGraph,
+    chain_graph,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_HIT",
+    "CHECKPOINT_RESTORED",
+    "CHECKPOINT_SAVED",
+    "EVENT_TYPES",
+    "EventStream",
+    "GraphCheckpoint",
+    "NODE_FAIL",
+    "NODE_FINISH",
+    "NODE_RETRY",
+    "NODE_START",
+    "NodeMemo",
+    "NodeRecord",
+    "Operator",
+    "OperatorGraph",
+    "ParallelExecutor",
+    "RUN_FINISH",
+    "RUN_START",
+    "RunEvent",
+    "RunResult",
+    "SerialExecutor",
+    "atomic_write_text",
+    "chain_graph",
+    "fingerprint",
+    "node_fingerprints",
+    "read_jsonl",
+    "run_graph",
+]

@@ -1,0 +1,421 @@
+"""Executors for runtime operator graphs.
+
+Two pluggable strategies over the same scheduling state:
+
+* :class:`SerialExecutor` — one ready node at a time, in deterministic
+  topological (insertion-tie-broken) order;
+* :class:`ParallelExecutor` — waves of independent ready nodes fanned out
+  on the fork-sharded pool of :mod:`repro.perf.parallel`, the same
+  executor the similarity-join and feature-extraction kernels use.  Only
+  operators marked ``isolated=True`` with declared ``outputs`` run in
+  forked workers (their effects must be fully captured by those slots to
+  survive the process boundary); everything else runs in-parent, so
+  correctness never depends on an operator being fork-safe.
+
+Both execute nodes exactly once, emit the same per-node event multiset,
+and produce identical stores for deterministic operators — parallelism
+changes wall-clock time, never results.
+
+Ready-set tracking is incremental (remaining-predecessor counts
+decremented on completion), not a rescan — O(V + E) over a whole run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError, WorkflowError
+from repro.perf.parallel import run_sharded
+from repro.runtime import events as ev
+from repro.runtime.checkpoint import GraphCheckpoint, NodeMemo, node_fingerprints
+from repro.runtime.events import EventStream, RunEvent
+from repro.runtime.graph import ArtifactStore, NodeRecord, Operator, OperatorGraph
+
+
+@dataclass
+class RunResult:
+    """Outcome of one graph execution."""
+
+    graph: OperatorGraph
+    store: ArtifactStore
+    records: dict[str, NodeRecord]
+    events: EventStream
+    ok: bool = True
+    first_error: BaseException | None = None
+
+    def total_seconds(self) -> float:
+        """Wall seconds spent executing (cache hits count their restore time)."""
+        return sum(record.seconds for record in self.records.values())
+
+    def sim_seconds(self) -> float:
+        """Total simulated human/crowd seconds reported by the nodes."""
+        return sum(record.sim_seconds for record in self.records.values())
+
+    def failed_nodes(self) -> list[str]:
+        return [name for name, record in self.records.items() if not record.ok]
+
+
+class _RunState:
+    """Shared scheduling/caching state driven by an executor."""
+
+    def __init__(
+        self,
+        graph: OperatorGraph,
+        store: ArtifactStore,
+        events: EventStream,
+        memo: NodeMemo | None,
+        checkpoint: GraphCheckpoint | None,
+        on_error: str,
+        sim_at: float,
+        before_node: Callable[[str], None] | None,
+    ):
+        self.graph = graph
+        self.store = store
+        self.events = events
+        self.memo = memo
+        self.checkpoint = checkpoint
+        self.on_error = on_error
+        self.sim_at = sim_at
+        self.before_node = before_node
+        self.fingerprints = node_fingerprints(graph)
+        self.records: dict[str, NodeRecord] = {}
+        self._position = {name: i for i, name in enumerate(graph.nodes)}
+        self._remaining = {name: len(op.deps) for name, op in graph.nodes.items()}
+        self._ready = sorted(
+            (n for n, count in self._remaining.items() if count == 0),
+            key=self._position.__getitem__,
+        )
+        self._done: set[str] = set()
+        self.first_error: BaseException | None = None
+        self.halted = False
+
+    # -- scheduling ----------------------------------------------------
+    @property
+    def pending(self) -> bool:
+        return len(self._done) < len(self.graph.nodes)
+
+    def ready_nodes(self) -> list[str]:
+        if not self._ready and self.pending:
+            raise WorkflowError(
+                f"graph {self.graph.name!r} deadlocked: no ready operators "
+                f"among {sorted(set(self.graph.nodes) - self._done)}"
+            )
+        return list(self._ready)
+
+    def complete(self, name: str) -> None:
+        """Mark a node done; decrement successors' remaining-dep counts."""
+        self._done.add(name)
+        self._ready.remove(name)
+        newly_ready = []
+        for successor in self.graph.successors(name):
+            self._remaining[successor] -= 1
+            if self._remaining[successor] == 0:
+                newly_ready.append(successor)
+        if newly_ready:
+            self._ready = sorted(
+                self._ready + newly_ready, key=self._position.__getitem__
+            )
+
+    # -- caching -------------------------------------------------------
+    def try_cache(self, name: str) -> bool:
+        """Serve a node from memo or checkpoint; True when it was a hit."""
+        operator = self.graph.nodes[name]
+        fp = self.fingerprints[name]
+        started = time.perf_counter()
+        if self.memo is not None and operator.outputs:
+            outputs = self.memo.get(fp)
+            if outputs is not None:
+                self.store.update(outputs)
+                seconds = time.perf_counter() - started
+                if self.checkpoint is not None and self.checkpoint.can_checkpoint(operator) and not self.checkpoint.has(name, fp):
+                    self.checkpoint.save(name, fp, outputs)
+                self._emit_cache_hit(name, seconds, "memo")
+                return True
+        if self.checkpoint is not None and self.checkpoint.can_checkpoint(operator) and self.checkpoint.has(name, fp):
+            outputs = self.checkpoint.restore(name)
+            self.store.update(outputs)
+            seconds = time.perf_counter() - started
+            if self.memo is not None:
+                self.memo.put(fp, outputs)
+            self.events.emit(
+                RunEvent(
+                    ev.CHECKPOINT_RESTORED, self.graph.name, name,
+                    wall_seconds=seconds, sim_at=self.sim_at, cached=True,
+                )
+            )
+            self._emit_cache_hit(name, seconds, "checkpoint")
+            return True
+        return False
+
+    def _emit_cache_hit(self, name: str, seconds: float, source: str) -> None:
+        self.events.emit(
+            RunEvent(
+                ev.CACHE_HIT, self.graph.name, name,
+                wall_seconds=seconds, sim_at=self.sim_at, cached=True,
+                extra={"source": source},
+            )
+        )
+        self.records[name] = NodeRecord(
+            name, seconds, True, cached=True,
+            outputs=self.graph.nodes[name].outputs,
+        )
+        self.complete(name)
+
+    # -- execution (in-parent) -----------------------------------------
+    def execute_in_parent(self, name: str) -> None:
+        operator = self.graph.nodes[name]
+        if self.before_node is not None:
+            # Fault-injection/testing hook: an exception here simulates a
+            # crash *between* nodes — nothing is recorded, it propagates.
+            self.before_node(name)
+        self.events.emit(RunEvent(ev.NODE_START, self.graph.name, name, sim_at=self.sim_at))
+        outcome = _attempt(operator, self.store)
+        for _ in range(outcome.attempts - 1):
+            self.events.emit(RunEvent(ev.NODE_RETRY, self.graph.name, name, sim_at=self.sim_at))
+        self._finish(name, outcome)
+
+    def _finish(self, name: str, outcome: "_Outcome", raise_on_error: bool = True) -> None:
+        operator = self.graph.nodes[name]
+        if outcome.error is None:
+            if outcome.updates:
+                self.store.update(outcome.updates)
+            outputs = self._declared_outputs(operator)
+            fp = self.fingerprints[name]
+            if self.memo is not None and operator.outputs:
+                self.memo.put(fp, outputs)
+            if self.checkpoint is not None and self.checkpoint.can_checkpoint(operator):
+                self.checkpoint.save(name, fp, outputs)
+                self.events.emit(
+                    RunEvent(ev.CHECKPOINT_SAVED, self.graph.name, name, sim_at=self.sim_at)
+                )
+            self.events.emit(
+                RunEvent(
+                    ev.NODE_FINISH, self.graph.name, name,
+                    wall_seconds=outcome.seconds, sim_seconds=outcome.sim_seconds,
+                    sim_at=self.sim_at,
+                )
+            )
+            self.records[name] = NodeRecord(
+                name, outcome.seconds, True, sim_seconds=outcome.sim_seconds,
+                attempts=outcome.attempts, outputs=operator.outputs,
+            )
+        else:
+            self.events.emit(
+                RunEvent(
+                    ev.NODE_FAIL, self.graph.name, name,
+                    wall_seconds=outcome.seconds, sim_at=self.sim_at,
+                    error=outcome.error_repr,
+                )
+            )
+            self.records[name] = NodeRecord(
+                name, outcome.seconds, False, error=outcome.error_repr,
+                attempts=outcome.attempts, outputs=operator.outputs,
+            )
+            if self.first_error is None:
+                self.first_error = outcome.error
+        # With on_error="continue" a failed node still unblocks its
+        # dependents — they depend on it for *ordering* (the captured-
+        # script semantics of MagellanWorkflow.run(stop_on_error=False)).
+        self.complete(name)
+        if outcome.error is not None:
+            if self.on_error == "halt":
+                self.halted = True
+            elif raise_on_error and self.on_error == "raise":
+                raise outcome.error
+
+    def _declared_outputs(self, operator: Operator) -> dict[str, Any]:
+        missing = [slot for slot in operator.outputs if slot not in self.store]
+        if missing:
+            raise WorkflowError(
+                f"operator {operator.name!r} declared outputs {missing} "
+                f"but did not write them"
+            )
+        return {slot: self.store[slot] for slot in operator.outputs}
+
+
+@dataclass
+class _Outcome:
+    """What one node attempt loop produced (picklable across fork)."""
+
+    seconds: float = 0.0
+    sim_seconds: float = 0.0
+    attempts: int = 1
+    updates: dict[str, Any] | None = None
+    error: BaseException | None = None
+    error_repr: str | None = None
+
+
+def _attempt(operator: Operator, store: ArtifactStore) -> _Outcome:
+    """Run one operator with its retry budget; never raises."""
+    started = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = operator.fn(store)
+        except Exception as exc:
+            if attempts <= operator.retries:
+                continue
+            return _Outcome(
+                seconds=time.perf_counter() - started, attempts=attempts,
+                error=exc, error_repr=repr(exc),
+            )
+        sim_seconds = float(result) if isinstance(result, (int, float)) else 0.0
+        updates = result if isinstance(result, dict) else None
+        return _Outcome(
+            seconds=time.perf_counter() - started, sim_seconds=sim_seconds,
+            attempts=attempts, updates=updates,
+        )
+
+
+class SerialExecutor:
+    """Execute ready nodes one at a time, deterministically ordered."""
+
+    def drive(self, state: _RunState) -> None:
+        while state.pending and not state.halted:
+            name = state.ready_nodes()[0]
+            if state.try_cache(name):
+                continue
+            state.execute_in_parent(name)
+
+
+class ParallelExecutor:
+    """Execute independent ready nodes concurrently on a forked pool.
+
+    Each scheduling wave takes every currently-ready node, serves cache
+    hits, runs non-isolated nodes in-parent (store mutations and all),
+    then fans the isolated ones out through
+    :func:`repro.perf.parallel.run_sharded`; their declared outputs are
+    shipped back and merged in deterministic node order.
+    """
+
+    def __init__(self, n_jobs: int = -1):
+        if n_jobs == 0:
+            raise ConfigurationError("n_jobs must be a non-zero int (got 0)")
+        self.n_jobs = n_jobs
+
+    def drive(self, state: _RunState) -> None:
+        while state.pending and not state.halted:
+            wave = [n for n in state.ready_nodes() if not state.try_cache(n)]
+            if not wave:
+                continue  # the whole wave was cache hits
+            forked = [
+                n for n in wave
+                if state.graph.nodes[n].isolated and state.graph.nodes[n].outputs
+            ]
+            for name in wave:
+                if name not in forked:
+                    state.execute_in_parent(name)
+                    if state.halted:
+                        return
+            if not forked:
+                continue
+            if state.before_node is not None:
+                for name in forked:
+                    state.before_node(name)
+            for name in forked:
+                state.events.emit(
+                    RunEvent(ev.NODE_START, state.graph.name, name, sim_at=state.sim_at)
+                )
+
+            def worker(name: str) -> _Outcome:
+                outcome = _attempt(state.graph.nodes[name], state.store)
+                if outcome.error is None:
+                    # Ship only the declared output slots across the
+                    # process boundary (plus any explicit dict updates,
+                    # which _attempt already captured).
+                    operator = state.graph.nodes[name]
+                    if outcome.updates:
+                        state.store.update(outcome.updates)
+                    outcome.updates = {
+                        slot: state.store[slot]
+                        for slot in operator.outputs
+                        if slot in state.store
+                    }
+                outcome.error = None  # exceptions may not pickle; repr travels
+                return outcome
+
+            outcomes = run_sharded(forked, worker, n_jobs=self.n_jobs)
+            for name, outcome in zip(forked, outcomes):
+                for _ in range(outcome.attempts - 1):
+                    state.events.emit(
+                        RunEvent(ev.NODE_RETRY, state.graph.name, name, sim_at=state.sim_at)
+                    )
+                if outcome.error_repr is not None:
+                    outcome.error = WorkflowError(
+                        f"operator {name!r} failed in a forked worker: "
+                        f"{outcome.error_repr}"
+                    )
+                # Record every result of the wave before raising, so the
+                # event stream reflects work that actually happened.
+                state._finish(name, outcome, raise_on_error=False)
+            if state.on_error == "raise" and state.first_error is not None:
+                raise state.first_error
+
+
+Executor = SerialExecutor | ParallelExecutor
+
+
+def run_graph(
+    graph: OperatorGraph,
+    store: ArtifactStore | None = None,
+    *,
+    executor: Executor | None = None,
+    events: EventStream | None = None,
+    memo: NodeMemo | None = None,
+    checkpoint: GraphCheckpoint | None = None,
+    on_error: str = "raise",
+    sim_at: float = 0.0,
+    before_node: Callable[[str], None] | None = None,
+) -> RunResult:
+    """Execute a runtime graph; returns the run result.
+
+    ``store`` is the shared artifact dict (created empty when omitted and
+    mutated in place otherwise).  ``events`` collects the structured run
+    stream; ``memo`` adds in-process fingerprint memoization; ``checkpoint``
+    adds DAG-level crash recovery (see :mod:`repro.runtime.checkpoint`).
+    ``on_error`` is ``"raise"`` (default: first failure propagates after
+    being recorded), ``"continue"`` (failures are recorded, dependents
+    still run — the captured-script semantics), or ``"halt"`` (the first
+    failure stops scheduling, the run returns normally, and the exception
+    is available as ``RunResult.first_error`` for the caller to re-raise
+    after inspecting the records).  ``before_node`` is a
+    testing/fault-injection hook called with each node name immediately
+    before it executes; exceptions it raises simulate a crash and
+    propagate unrecorded.
+    """
+    if on_error not in ("raise", "continue", "halt"):
+        raise ConfigurationError(
+            f"on_error must be 'raise', 'continue', or 'halt', got {on_error!r}"
+        )
+    state = _RunState(
+        graph=graph,
+        store={} if store is None else store,
+        events=events if events is not None else EventStream(),
+        memo=memo,
+        checkpoint=checkpoint,
+        on_error=on_error,
+        sim_at=sim_at,
+        before_node=before_node,
+    )
+    state.events.emit(RunEvent(ev.RUN_START, graph.name, sim_at=sim_at))
+    try:
+        (executor or SerialExecutor()).drive(state)
+    finally:
+        state.events.emit(
+            RunEvent(
+                ev.RUN_FINISH, graph.name, sim_at=sim_at,
+                wall_seconds=sum(r.seconds for r in state.records.values()),
+                sim_seconds=sum(r.sim_seconds for r in state.records.values()),
+            )
+        )
+    return RunResult(
+        graph=graph,
+        store=state.store,
+        records=state.records,
+        events=state.events,
+        ok=all(record.ok for record in state.records.values()),
+        first_error=state.first_error,
+    )

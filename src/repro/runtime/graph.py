@@ -1,0 +1,236 @@
+"""The operator-DAG intermediate representation shared by every workflow stack.
+
+The paper's Section 4.1 design principles call for one interoperable
+execution substrate, and CloudMatcher's core idea (Section 5.1) is that
+*every* EM workflow is a DAG of work units over shared state.  This module
+is that substrate's IR: an :class:`OperatorGraph` of named
+:class:`Operator` nodes, each an arbitrary callable over a shared artifact
+store, with explicit data/ordering dependencies.  The three front-ends —
+``pipeline.MagellanWorkflow`` (a chain), ``cloud`` (service DAGs sliced
+into engine fragments), and ``falcon``/``smurf`` (fixed stage graphs) —
+all compile to this IR and execute through :mod:`repro.runtime.executor`.
+
+Dependencies must name already-added operators, so a graph is acyclic by
+construction; topological order is deterministic (Kahn's algorithm with
+insertion-order tie-breaking), which keeps serial runs, parallel runs, and
+resumed runs byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, MutableMapping
+
+from repro.exceptions import WorkflowError
+
+ArtifactStore = MutableMapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One node of a runtime graph.
+
+    ``fn(store)`` reads and writes the shared artifact store.  Its return
+    value may be:
+
+    * ``None`` — the operator communicated purely through store mutation;
+    * a ``dict`` — artifact updates, merged into the store by the runner;
+    * a ``float``/``int`` — *simulated* human/crowd seconds consumed (the
+      CloudMatcher service convention); recorded on the node's events.
+
+    ``outputs`` declares the store slots the operator writes.  Declared
+    outputs are what DAG-level checkpointing persists and what a forked
+    parallel worker ships back to the parent process, so an operator is
+    checkpointable (``checkpoint=True`` and non-empty ``outputs``) or
+    fork-safe (``isolated=True`` and non-empty ``outputs``) only when its
+    effects are fully captured by those slots.
+    """
+
+    name: str
+    fn: Callable[[ArtifactStore], Any]
+    deps: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    description: str = ""
+    retries: int = 0
+    checkpoint: bool = True
+    isolated: bool = False  # safe to execute in a forked worker process
+    key: str = ""  # extra salt for the node fingerprint (versioning)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("operator name must be non-empty")
+        if self.retries < 0:
+            raise WorkflowError(f"operator {self.name!r}: retries must be >= 0")
+
+
+class OperatorGraph:
+    """A named DAG of operators over a shared artifact store."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: dict[str, Operator] = {}  # insertion-ordered
+        self._successors: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        fn: Callable[[ArtifactStore], Any],
+        deps: tuple[str, ...] | list[str] = (),
+        outputs: tuple[str, ...] | list[str] = (),
+        description: str = "",
+        retries: int = 0,
+        checkpoint: bool = True,
+        isolated: bool = False,
+        key: str = "",
+    ) -> Operator:
+        """Add an operator; ``deps`` must name already-added operators.
+
+        Because every edge points backward to an existing node, the graph
+        stays acyclic by construction.  Returns the new operator.
+        """
+        if name in self.nodes:
+            raise WorkflowError(f"duplicate operator name {name!r} in graph {self.name!r}")
+        for dep in deps:
+            if dep not in self.nodes:
+                raise WorkflowError(
+                    f"operator {name!r} depends on unknown operator {dep!r}"
+                )
+        operator = Operator(
+            name=name,
+            fn=fn,
+            deps=tuple(deps),
+            outputs=tuple(outputs),
+            description=description,
+            retries=retries,
+            checkpoint=checkpoint,
+            isolated=isolated,
+            key=key,
+        )
+        self.nodes[name] = operator
+        self._successors[name] = []
+        for dep in operator.deps:
+            self._successors[dep].append(name)
+        return operator
+
+    def add_operator(self, operator: Operator) -> Operator:
+        """Add a prebuilt :class:`Operator` (same validation as :meth:`add`)."""
+        return self.add(
+            operator.name,
+            operator.fn,
+            deps=operator.deps,
+            outputs=operator.outputs,
+            description=operator.description,
+            retries=operator.retries,
+            checkpoint=operator.checkpoint,
+            isolated=operator.isolated,
+            key=operator.key,
+        )
+
+    # ------------------------------------------------------------------
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        return self.node(name).deps
+
+    def successors(self, name: str) -> list[str]:
+        self.node(name)
+        return list(self._successors[name])
+
+    def node(self, name: str) -> Operator:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise WorkflowError(
+                f"graph {self.name!r} has no operator {name!r}; "
+                f"have {sorted(self.nodes)}"
+            ) from None
+
+    def topological_order(self) -> list[str]:
+        """Deterministic topological order (insertion order breaks ties)."""
+        remaining = {name: len(op.deps) for name, op in self.nodes.items()}
+        order: list[str] = []
+        ready = [name for name in self.nodes if remaining[name] == 0]
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            newly_ready = []
+            for successor in self._successors[name]:
+                remaining[successor] -= 1
+                if remaining[successor] == 0:
+                    newly_ready.append(successor)
+            # Keep insertion order among the newly ready.
+            position = {n: i for i, n in enumerate(self.nodes)}
+            ready = sorted(ready + newly_ready, key=position.__getitem__)
+        if len(order) != len(self.nodes):
+            raise WorkflowError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    def subgraph(self, names: list[str] | tuple[str, ...], name: str | None = None) -> "OperatorGraph":
+        """The induced subgraph on ``names``, dependencies restricted to it.
+
+        External dependencies (on nodes outside ``names``) are dropped —
+        the caller is responsible for having executed them already, which
+        is exactly the fragment contract of the cloud metamanager.
+        """
+        selected = set(names)
+        for node_name in names:
+            self.node(node_name)
+        sub = OperatorGraph(name or f"{self.name}[{len(selected)}]")
+        for node_name in self.topological_order():
+            if node_name not in selected:
+                continue
+            operator = self.nodes[node_name]
+            sub.add(
+                operator.name,
+                operator.fn,
+                deps=tuple(d for d in operator.deps if d in selected),
+                outputs=operator.outputs,
+                description=operator.description,
+                retries=operator.retries,
+                checkpoint=operator.checkpoint,
+                isolated=operator.isolated,
+                key=operator.key,
+            )
+        return sub
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.nodes
+
+    def __repr__(self) -> str:
+        return f"OperatorGraph({self.name!r}, {len(self.nodes)} nodes)"
+
+
+def chain_graph(
+    name: str,
+    steps: list[tuple[str, Callable[[ArtifactStore], Any]]],
+    checkpoint: bool = True,
+) -> OperatorGraph:
+    """A linear graph: each step depends on the previous one.
+
+    The compilation target of :class:`repro.pipeline.MagellanWorkflow`.
+    """
+    graph = OperatorGraph(name)
+    previous: tuple[str, ...] = ()
+    for step_name, fn in steps:
+        graph.add(step_name, fn, deps=previous, checkpoint=checkpoint)
+        previous = (step_name,)
+    return graph
+
+
+@dataclass
+class NodeRecord:
+    """Execution record of one operator — the unified replacement for the
+    three ad-hoc per-stack record schemes (``StepRecord``,
+    ``FragmentExecution`` timings, logging lines)."""
+
+    name: str
+    seconds: float
+    ok: bool
+    error: str | None = None
+    cached: bool = False
+    sim_seconds: float = 0.0
+    attempts: int = 1
+    outputs: tuple[str, ...] = field(default_factory=tuple)

@@ -25,6 +25,7 @@ from repro.falcon.active import ActiveLearningResult, active_learn_forest
 from repro.features.extraction import extract_feature_vecs, feature_matrix
 from repro.features.feature import FeatureTable, make_string_feature, make_token_feature
 from repro.labeling.session import LabelingSession
+from repro.runtime import EventStream, OperatorGraph, run_graph
 from repro.simjoin.joins import set_sim_join
 from repro.table.table import Table
 from repro.text.sim.edit_based import JaroWinkler, Levenshtein
@@ -132,14 +133,97 @@ def _auto_join(
     return best
 
 
+def build_smurf_graph(
+    dataset: EMDataset,
+    session: LabelingSession,
+    column: str,
+    config: SmurfConfig,
+    cat: Catalog,
+) -> OperatorGraph:
+    """Smurf's stages as a runtime operator graph.
+
+    A chain — auto-tuned join, candset construction, featurization,
+    active learning, prediction — over the shared artifact store.  Nodes
+    are not ``isolated``: the session and catalog mutate parent state.
+    """
+    graph = OperatorGraph(f"smurf/{dataset.name}")
+
+    def auto_join(store) -> None:
+        pairs, threshold = _auto_join(dataset, column, config)
+        if not pairs:
+            raise ConfigurationError("Smurf's similarity join produced no candidates")
+        store["pairs"] = pairs
+        store["join_threshold"] = threshold
+
+    def build_candset(store) -> None:
+        store["candset"] = make_candset(
+            store["pairs"],
+            dataset.ltable,
+            dataset.rtable,
+            dataset.l_key,
+            dataset.r_key,
+            catalog=cat,
+        )
+
+    def featurize(store) -> None:
+        features = _string_feature_table(column)
+        fv = extract_feature_vecs(store["candset"], features, cat)
+        store["feature_names"] = features.names()
+        store["X"] = feature_matrix(fv, store["feature_names"], impute=False)
+
+    def learn_matching(store) -> None:
+        store["matching_stage"] = active_learn_forest(
+            store["pairs"],
+            store["X"],
+            session,
+            feature_names=store["feature_names"],
+            n_trees=config.n_trees,
+            seed_size=config.seed_size,
+            batch_size=config.batch_size,
+            max_iterations=config.max_iterations,
+            max_questions=config.matching_budget,
+            random_state=config.random_state,
+        )
+
+    def predict(store) -> None:
+        X = store["X"]
+        candset = store["candset"]
+        predictions = store["matching_stage"].forest.predict_with_alpha(
+            np.where(np.isnan(X), 0.0, X), alpha=config.alpha
+        )
+        store["predictions"] = [int(p) for p in predictions]
+        match_rows = [i for i, p in enumerate(predictions) if p == 1]
+        matches = candset.take(match_rows)
+        meta = cat.get_candset_metadata(candset)
+        cat.set_candset_metadata(
+            matches, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
+        )
+        store["matches"] = matches
+
+    graph.add("auto_join", auto_join,
+              description="auto-tune the q-gram Jaccard join threshold")
+    graph.add("build_candset", build_candset, deps=("auto_join",))
+    graph.add("featurize", featurize, deps=("build_candset",))
+    graph.add("learn_matching", learn_matching, deps=("featurize",),
+              description="actively learn the matching forest")
+    graph.add("predict", predict, deps=("learn_matching",),
+              description="alpha-vote the forest over the candset")
+    return graph
+
+
 def run_smurf(
     dataset: EMDataset,
     session: LabelingSession,
     column: str = "value",
     config: SmurfConfig | None = None,
     catalog: Catalog | None = None,
+    events: EventStream | None = None,
 ) -> SmurfResult:
-    """Run Smurf on a string-matching dataset (one string column per side)."""
+    """Run Smurf on a string-matching dataset (one string column per side).
+
+    The stages execute as a :class:`repro.runtime.OperatorGraph`; pass an
+    ``events`` stream to observe per-stage structured events.
+    """
     config = config or SmurfConfig()
     cat = catalog if catalog is not None else get_catalog()
     dataset.register(cat)
@@ -147,44 +231,15 @@ def run_smurf(
     dataset.rtable.require_columns([column])
     started = time.perf_counter()
 
-    pairs, threshold = _auto_join(dataset, column, config)
-    if not pairs:
-        raise ConfigurationError("Smurf's similarity join produced no candidates")
-    candset = make_candset(
-        pairs, dataset.ltable, dataset.rtable, dataset.l_key, dataset.r_key, catalog=cat
-    )
+    graph = build_smurf_graph(dataset, session, column, config, cat)
+    store = run_graph(graph, events=events).store
 
-    features = _string_feature_table(column)
-    fv = extract_feature_vecs(candset, features, cat)
-    names = features.names()
-    X = feature_matrix(fv, names, impute=False)
-    matching_stage = active_learn_forest(
-        pairs,
-        X,
-        session,
-        feature_names=names,
-        n_trees=config.n_trees,
-        seed_size=config.seed_size,
-        batch_size=config.batch_size,
-        max_iterations=config.max_iterations,
-        max_questions=config.matching_budget,
-        random_state=config.random_state,
-    )
-    predictions = matching_stage.forest.predict_with_alpha(
-        np.where(np.isnan(X), 0.0, X), alpha=config.alpha
-    )
-    match_rows = [i for i, p in enumerate(predictions) if p == 1]
-    matches = candset.take(match_rows)
-    meta = cat.get_candset_metadata(candset)
-    cat.set_candset_metadata(
-        matches, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
-    )
     return SmurfResult(
-        candset=candset,
-        matches=matches,
-        predictions=[int(p) for p in predictions],
-        join_threshold=threshold,
-        matching_stage=matching_stage,
-        questions=matching_stage.questions,
+        candset=store["candset"],
+        matches=store["matches"],
+        predictions=store["predictions"],
+        join_threshold=store["join_threshold"],
+        matching_stage=store["matching_stage"],
+        questions=store["matching_stage"].questions,
         machine_seconds=time.perf_counter() - started,
     )

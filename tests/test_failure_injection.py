@@ -9,7 +9,6 @@ precise, and recoverable.
 import pytest
 
 from repro.blocking import OverlapBlocker
-from repro.catalog import get_catalog
 from repro.cloud import DEFAULT_REGISTRY, CloudMatcher10, ServiceKind, WorkflowContext
 from repro.cloud.dag import EMWorkflow
 from repro.cloud.services import Service

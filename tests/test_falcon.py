@@ -65,7 +65,7 @@ class TestActiveLearning:
     def test_respects_session_budget(self):
         pairs, X, gold = _pool()
         session = LabelingSession(OracleLabeler(gold), budget=30)
-        result = active_learn_forest(pairs, X, session, random_state=0)
+        active_learn_forest(pairs, X, session, random_state=0)
         assert session.questions_asked <= 30
 
     def test_empty_pool_rejected(self):

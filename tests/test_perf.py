@@ -9,7 +9,6 @@ Two guarantees are enforced here:
   column data, so equality means same columns, same values, same order).
 """
 
-import math
 import pickle
 import random
 

@@ -1,6 +1,5 @@
 """Tests for match post-processing: clustering, 1-1, merging, dedup."""
 
-import pytest
 
 from repro.blocking import OverlapBlocker
 from repro.postprocess import (

@@ -6,9 +6,8 @@ import pytest
 
 from repro.datasets import DirtinessConfig, make_string_dataset
 from repro.datasets.vocab import CITIES, FIRST_NAMES, LAST_NAMES
-from repro.exceptions import ConfigurationError
 from repro.labeling import LabelingSession, OracleLabeler
-from repro.smurf import SmurfConfig, SmurfResult, run_smurf
+from repro.smurf import SmurfConfig, run_smurf
 
 
 def string_dataset(seed=0, n=400):
