@@ -35,13 +35,24 @@ def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
 
 
 def report(experiment_id: str, title: str, body: str) -> None:
-    """Emit a reproduction block to the console and the results archive."""
+    """Emit a reproduction block to the console and the results archive.
+
+    Alongside the rendered text, the current metrics registry is archived
+    as ``<experiment_id>.metrics.jsonl`` so each result carries the
+    telemetry (probe counts, cache hit rates, node timings) of the run
+    that produced it.
+    """
     block = f"\n=== {experiment_id}: {title} ===\n{body}\n"
     sys.__stdout__.write(block)
     sys.__stdout__.flush()
     RESULTS_DIR.mkdir(exist_ok=True)
     out = RESULTS_DIR / f"{experiment_id}.txt"
     out.write_text(block, encoding="utf-8")
+    from repro.obs import get_registry, write_metrics_jsonl
+
+    registry = get_registry()
+    if len(registry):
+        write_metrics_jsonl(registry, RESULTS_DIR / f"{experiment_id}.metrics.jsonl")
 
 
 def prf(predicted: set, gold: set) -> tuple[float, float, float]:

@@ -13,7 +13,7 @@ from collections import defaultdict
 from collections.abc import Sequence
 from typing import Any
 
-from repro.blocking.base import Blocker, make_candset
+from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.catalog.catalog import Catalog
 from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.schema import is_missing
@@ -68,6 +68,7 @@ class AttrEquivalenceBlocker(Blocker):
         pairs = [
             pair for shard in run_sharded(shards, probe_shard, n_jobs) for pair in shard
         ]
+        observe_blocking(self, len(pairs))
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )
@@ -125,6 +126,7 @@ class HashBlocker(Blocker):
         pairs = [
             pair for shard in run_sharded(shards, probe_shard, n_jobs) for pair in shard
         ]
+        observe_blocking(self, len(pairs))
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

@@ -10,15 +10,35 @@ key/FK metadata is recorded in the catalog rather than in the table.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 from typing import Any
 
 from repro.catalog.catalog import Catalog, get_catalog
 from repro.catalog.checks import validate_candset
+from repro.obs import get_registry
 from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.table import Row, Table
 
 CANDSET_ID = "_id"
+
+
+def observe_blocking(
+    blocker: "Blocker | str", pair_count: int, seconds: float | None = None
+) -> None:
+    """Record one blocking call's surviving-pair count in the registry.
+
+    Every ``block_tables``/``block_candset`` implementation calls this
+    with its output size (and wall seconds when it times itself), so the
+    per-blocker funnel — how many pairs each blocker lets through — is
+    observable across all workflow stacks.
+    """
+    name = blocker if isinstance(blocker, str) else type(blocker).__name__
+    registry = get_registry()
+    registry.counter("blocking_calls_total", blocker=name).inc()
+    registry.counter("blocking_pairs_total", blocker=name).inc(pair_count)
+    if seconds is not None:
+        registry.histogram("blocking_seconds", blocker=name).observe(seconds)
 
 
 def fk_column_names(l_key: str, r_key: str) -> tuple[str, str]:
@@ -102,6 +122,7 @@ class Blocker:
         n_jobs: int = 1,
     ) -> Table:
         """Apply the blocker to A x B and return the candidate set."""
+        started = time.perf_counter()
         ltable.require_columns([l_key])
         rtable.require_columns([r_key])
         r_rows = list(rtable.rows())
@@ -118,6 +139,7 @@ class Blocker:
         pairs = [
             pair for shard in run_sharded(shards, scan_shard, n_jobs) for pair in shard
         ]
+        observe_blocking(self, len(pairs), time.perf_counter() - started)
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )
@@ -151,6 +173,7 @@ class Blocker:
 
         shards = split_evenly(range(candset.num_rows), effective_n_jobs(n_jobs))
         keep = [i for shard in run_sharded(shards, scan_shard, n_jobs) for i in shard]
+        observe_blocking(self, len(keep))
         result = candset.take(keep)
         result.add_column(CANDSET_ID, list(range(len(keep))))
         cat.set_candset_metadata(

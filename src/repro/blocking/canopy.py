@@ -17,7 +17,7 @@ from collections import defaultdict
 from collections.abc import Sequence
 from typing import Any
 
-from repro.blocking.base import Blocker, make_candset
+from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.catalog.catalog import Catalog
 from repro.exceptions import ConfigurationError
 from repro.table.schema import is_missing
@@ -150,6 +150,7 @@ class CanopyBlocker(Blocker):
             for l_id in l_ids:
                 for r_id in r_ids:
                     pairs.add((l_id, r_id))
+        observe_blocking(self, len(pairs))
         return make_candset(
             sorted(pairs, key=lambda p: (str(p[0]), str(p[1]))),
             ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog,

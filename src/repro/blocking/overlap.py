@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.blocking.base import Blocker, make_candset
+from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.catalog.catalog import Catalog
 from repro.exceptions import ConfigurationError
 from repro.simjoin.joins import set_sim_join
@@ -104,6 +104,7 @@ class OverlapBlocker(Blocker):
             n_jobs=n_jobs,
         )
         pairs = list(zip(joined.column("l_id"), joined.column("r_id")))
+        observe_blocking(self, len(pairs))
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.blocking.base import Blocker, make_candset
+from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.blocking.rules import BlockingRule, execute_rules, parse_rule
 from repro.catalog.catalog import Catalog
 from repro.exceptions import ConfigurationError
@@ -71,6 +71,7 @@ class RuleBasedBlocker(Blocker):
         pairs = sorted(
             execute_rules(self.rules, ltable, rtable, l_key, r_key, n_jobs=n_jobs)
         )
+        observe_blocking(self, len(pairs))
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

@@ -230,6 +230,8 @@ def execute_rules(
     n_jobs: int = 1,
 ) -> set[tuple[Any, Any]]:
     """Candidate pairs surviving *all* rules (intersection of survivors)."""
+    from repro.blocking.base import observe_blocking
+
     if not rules:
         raise WorkflowError("no blocking rules to execute")
     result: set[tuple[Any, Any]] | None = None
@@ -240,4 +242,6 @@ def execute_rules(
         result = survivors if result is None else (result & survivors)
         if not result:
             break
-    return result or set()
+    result = result or set()
+    observe_blocking("BlockingRules", len(result))
+    return result

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any, Callable
 
-from repro.blocking.base import Blocker, make_candset
+from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.catalog.catalog import Catalog
 from repro.exceptions import ConfigurationError
 from repro.table.schema import is_missing
@@ -78,6 +78,7 @@ class SortedNeighborhoodBlocker(Blocker):
                     pairs.add((key_value, other_key))
                 else:
                     pairs.add((other_key, key_value))
+        observe_blocking(self, len(pairs))
         return make_candset(
             sorted(pairs), ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )

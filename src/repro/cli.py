@@ -18,6 +18,10 @@ A gold file is a two-column CSV ``l_id,r_id`` of known matching pairs;
 when given, labeling questions are answered by an oracle (useful for
 scripted runs and benchmarks).  Without it, questions come to the
 terminal.
+
+The workflow subcommands take ``--metrics PATH``: after the run — even a
+failed one — the process-wide metrics registry is written as JSONL at
+PATH and as Prometheus text format at ``PATH.prom``.
 """
 
 from __future__ import annotations
@@ -126,20 +130,24 @@ def cmd_falcon(args) -> int:
     dataset = EMDataset("cli", ltable, rtable, gold, args.key, args.key).register()
     session = LabelingSession(_labeler(args, ltable, rtable), budget=args.budget)
     events = EventStream()
-    result = run_falcon(
-        dataset,
-        session,
-        FalconConfig(
-            sample_size=min(4 * max(ltable.num_rows, rtable.num_rows), 3000),
-            blocking_budget=args.budget // 3,
-            matching_budget=args.budget,
-            random_state=0,
-        ),
-        events=events,
-    )
-    if args.events:
-        events.write_jsonl(args.events)
-        print(f"{len(events)} run events written to {args.events}")
+    try:
+        result = run_falcon(
+            dataset,
+            session,
+            FalconConfig(
+                sample_size=min(4 * max(ltable.num_rows, rtable.num_rows), 3000),
+                blocking_budget=args.budget // 3,
+                matching_budget=args.budget,
+                random_state=0,
+            ),
+            events=events,
+        )
+    finally:
+        # Written even when the run dies mid-way: the partial event log
+        # of a failed run is exactly what is needed to diagnose it.
+        if args.events:
+            events.write_jsonl(args.events)
+            print(f"{len(events)} run events written to {args.events}")
     print(f"blocking rules retained: {len(result.rules)}")
     for rule in result.rules:
         print(f"   {rule}")
@@ -236,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--block-on", default=None, help="blocking attribute")
         p.add_argument("--overlap", type=int, default=1, help="token overlap size")
         p.add_argument("--output", default="matches.csv")
+        p.add_argument(
+            "--metrics", default=None, metavar="PATH",
+            help="write the metrics registry here (JSONL + PATH.prom)",
+        )
         if name == "falcon":
             p.add_argument(
                 "--events", default=None, metavar="PATH",
@@ -251,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gold", default=None, help="CSV of known duplicate pairs")
     p.add_argument("--budget", type=int, default=1000)
     p.add_argument("--output", default="deduped.csv")
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the metrics registry here (JSONL + PATH.prom)",
+    )
     p.set_defaults(fn=cmd_dedupe)
 
     p = sub.add_parser("schema-match", help="propose attribute correspondences")
@@ -263,10 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_metrics(path: str) -> None:
+    from repro.obs import get_registry, write_metrics_jsonl, write_prometheus_text
+
+    registry = get_registry()
+    write_metrics_jsonl(registry, path)
+    write_prometheus_text(registry, f"{path}.prom")
+    print(f"{len(registry)} metric series written to {path} (+ {path}.prom)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    metrics_path = getattr(args, "metrics", None)
+    if not metrics_path:
+        return args.fn(args)
+    try:
+        return args.fn(args)
+    finally:
+        # Snapshots survive a failed run, same as --events.
+        _write_metrics(metrics_path)
 
 
 if __name__ == "__main__":

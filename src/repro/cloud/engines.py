@@ -34,6 +34,7 @@ from repro.cloud.context import WorkflowContext
 from repro.cloud.dag import EMWorkflow, Fragment, decompose_fragments
 from repro.cloud.services import ServiceKind
 from repro.exceptions import WorkflowError
+from repro.obs import get_registry
 from repro.runtime import EventStream, SerialExecutor, run_graph
 
 
@@ -91,6 +92,15 @@ class ExecutionEngine:
         record = FragmentExecution(fragment, start, end, machine_seconds, human_seconds)
         self.busy_until = end
         self.executions.append(record)
+        registry = get_registry()
+        registry.counter("cloud_fragments_total", engine=self.kind.value).inc()
+        registry.histogram(
+            "cloud_fragment_machine_seconds", engine=self.kind.value
+        ).observe(machine_seconds)
+        if human_seconds:
+            registry.counter(
+                "cloud_fragment_sim_seconds_total", engine=self.kind.value
+            ).inc(human_seconds)
         return record
 
 
@@ -257,10 +267,20 @@ class MetaManager:
             push_ready(run, order, 0.0)
 
         order_of = {id(run): i for i, run in enumerate(self.runs)}
+        registry = get_registry()
         while heap:
             at, order, _, run, fragment = heapq.heappop(heap)
             if fragment.fragment_id in run.completed:
                 continue
+            # Queue depth per engine kind at dispatch time: fragments
+            # still waiting in the heap, plus the one being dispatched.
+            waiting: dict[str, int] = {kind.value: 0 for kind in ServiceKind}
+            waiting[fragment.kind.value] += 1
+            for entry in heap:
+                if entry[4].fragment_id not in entry[3].completed:
+                    waiting[entry[4].kind.value] += 1
+            for kind_value, depth in waiting.items():
+                registry.gauge("cloud_queue_depth", engine=kind_value).set(depth)
             engine = self.engine_for(run, fragment.kind)
             record = engine.execute(fragment, run.context, at)
             run.complete(fragment.fragment_id)

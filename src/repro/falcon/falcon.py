@@ -44,6 +44,7 @@ from repro.features.generation import (
     get_features_for_matching,
 )
 from repro.labeling.session import LabelingSession
+from repro.obs import get_registry
 from repro.runtime import EventStream, OperatorGraph, run_graph
 from repro.table.table import Table
 
@@ -173,6 +174,12 @@ def build_falcon_graph(
     """
     graph = OperatorGraph(f"falcon/{dataset.name}")
 
+    def observe_stage(stage: str, result: ActiveLearningResult) -> None:
+        registry = get_registry()
+        registry.counter("falcon_iterations_total", stage=stage).inc(result.iterations)
+        registry.counter("falcon_questions_total", stage=stage).inc(result.questions)
+        registry.counter("falcon_labels_total", stage=stage).inc(len(result.labels))
+
     def sample(store) -> None:
         store["sample"] = _sample_pairs(
             dataset, config.sample_size, config.random_state, cat
@@ -211,6 +218,7 @@ def build_falcon_graph(
             max_questions=config.blocking_budget,
             random_state=config.random_state,
         )
+        observe_stage("blocking", store["blocking_stage"])
 
     def extract_rules(store) -> None:
         store["rule_candidates"] = extract_rules_from_forest(
@@ -238,6 +246,7 @@ def build_falcon_graph(
             min_coverage=config.min_rule_coverage,
             max_rules=config.max_rules,
         )
+        get_registry().gauge("falcon_rules_retained").set(len(store["rules"]))
 
     def execute_blocking(store) -> None:
         rules = store["rules"]
@@ -271,6 +280,10 @@ def build_falcon_graph(
                 catalog=cat,
             )
             store["used_fallback"] = True
+        registry = get_registry()
+        registry.counter("falcon_candidates_total").inc(store["candset"].num_rows)
+        if store["used_fallback"]:
+            registry.counter("falcon_fallback_total").inc()
 
     def matching_features(store) -> None:
         store["matching_features"] = get_features_for_matching(
@@ -305,6 +318,7 @@ def build_falcon_graph(
             max_questions=config.matching_budget,
             random_state=config.random_state + 1,
         )
+        observe_stage("matching", store["matching_stage"])
 
     def predict(store) -> None:
         candset = store["candset"]
@@ -325,6 +339,7 @@ def build_falcon_graph(
             cand_meta.rtable,
         )
         store["matches"] = matches
+        get_registry().counter("falcon_matches_total").inc(len(match_rows))
 
     graph.add("sample", sample, description="sample pairs from A x B")
     graph.add("blocking_features", blocking_features, description="generate blocking features")

@@ -18,6 +18,7 @@ from repro.catalog.catalog import Catalog, get_catalog
 from repro.catalog.checks import validate_candset
 from repro.features.feature import FeatureTable
 from repro.ml.impute import SimpleImputer
+from repro.obs import get_registry
 from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
 from repro.table.table import Table
 
@@ -56,13 +57,18 @@ def extract_feature_vecs(
 
     features = list(feature_table)
 
-    def extract_shard(shard: list[tuple[Any, Any]]) -> dict[str, list[Any]]:
+    def extract_shard(
+        shard: list[tuple[Any, Any]],
+    ) -> tuple[dict[str, list[Any]], int, int]:
         # Candidate sets repeat attribute-value pairs heavily (think state
         # or city columns), so each feature's values are memoized per
         # distinct (l_value, r_value) pair.  Unhashable values fall back
-        # to direct evaluation.
+        # to direct evaluation.  Hit/miss counts travel back with the
+        # shard and are accounted in the parent process (a registry
+        # increment inside a forked worker would be lost).
         shard_columns: dict[str, list[Any]] = {f.name: [] for f in features}
         memos: dict[str, dict] = {f.name: {} for f in features}
+        hits = misses = 0
         for l_key_value, r_key_value in shard:
             l_row = l_index[l_key_value]
             r_row = r_index[r_key_value]
@@ -73,19 +79,30 @@ def extract_feature_vecs(
                 try:
                     value = memo.get((l_value, r_value), _MISS)
                     if value is _MISS:
+                        misses += 1
                         value = memo[(l_value, r_value)] = feature(l_value, r_value)
+                    else:
+                        hits += 1
                 except TypeError:
+                    misses += 1
                     value = feature(l_value, r_value)
                 shard_columns[feature.name].append(value)
-        return shard_columns
+        return shard_columns, hits, misses
 
     pairs = list(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)))
     shards = split_evenly(pairs, effective_n_jobs(n_jobs))
     for feature in features:
         columns[feature.name] = []
-    for shard_columns in run_sharded(shards, extract_shard, n_jobs):
+    total_hits = total_misses = 0
+    for shard_columns, hits, misses in run_sharded(shards, extract_shard, n_jobs):
+        total_hits += hits
+        total_misses += misses
         for name, values in shard_columns.items():
             columns[name].extend(values)
+    registry = get_registry()
+    registry.counter("feature_cache_hits_total").inc(total_hits)
+    registry.counter("feature_cache_misses_total").inc(total_misses)
+    registry.counter("feature_vectors_total").inc(len(pairs))
     if label_column is not None:
         columns[label_column] = list(candset.column(label_column))
 

@@ -1,0 +1,77 @@
+"""repro.obs — metrics and tracing for every subsystem.
+
+The paper's production section names "logging ... monitoring" as a
+first-class concern for EM workflows serving many users; this package is
+that layer.  It pairs the structured event stream of
+:mod:`repro.runtime` with *aggregated* observability, so bugs in one can
+be cross-checked against the other:
+
+* :mod:`~repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms interned in a :class:`MetricsRegistry` (process default via
+  :func:`get_registry`, swappable with :func:`use_registry`);
+* :mod:`~repro.obs.tracing` — nested spans via the :func:`trace_span`
+  context manager and :func:`event_span_sink` (runtime events → spans);
+* :mod:`~repro.obs.sinks` — :func:`metrics_sink`, the EventStream sink
+  :func:`repro.runtime.run_graph` subscribes automatically so every node
+  timing lands in the registry;
+* :mod:`~repro.obs.exporters` — JSONL snapshots and the Prometheus text
+  exposition format (with a parser for round-trip verification).
+
+Instrumented hot paths: simjoin filter/verify funnels, per-blocker pair
+counts, feature-extraction cache hits, Falcon iteration/question
+counters, cloud engine queue depth and fragment latency, and every
+runtime node timing.  The CLI's ``--metrics PATH`` flag and
+``benchmarks/_report.py`` snapshot the registry after a run.
+"""
+
+from repro.obs.exporters import (
+    parse_prometheus_text,
+    read_metrics_jsonl,
+    to_prometheus_text,
+    write_metrics_jsonl,
+    write_prometheus_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.sinks import metrics_sink
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    event_span_sink,
+    get_tracer,
+    set_tracer,
+    trace_span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "event_span_sink",
+    "get_registry",
+    "get_tracer",
+    "metrics_sink",
+    "parse_prometheus_text",
+    "read_metrics_jsonl",
+    "set_registry",
+    "set_tracer",
+    "to_prometheus_text",
+    "trace_span",
+    "use_registry",
+    "use_tracer",
+    "write_metrics_jsonl",
+    "write_prometheus_text",
+]

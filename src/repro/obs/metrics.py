@@ -1,0 +1,278 @@
+"""Metric primitives and the registry that owns them.
+
+Three instrument kinds, modeled on the Prometheus data model:
+
+* :class:`Counter` — a monotonically increasing total (events, pairs,
+  questions).  Decrementing is a programming error.
+* :class:`Gauge` — a point-in-time value that moves both ways (queue
+  depth, survival ratio).
+* :class:`Histogram` — observations bucketed against *fixed* boundaries
+  chosen at creation, plus a running sum and count; ``time()`` is the
+  timer context manager used for node and join latencies.
+
+A :class:`MetricsRegistry` interns one instrument per ``(name, labels)``
+pair, so hot paths can call ``registry.counter("x", k="v").inc()``
+repeatedly and always hit the same object.  Instruments of one name must
+all be the same kind; labels are stringified and order-insensitive.
+
+Process model: the registry is process-local.  Code that fans work out
+through :mod:`repro.perf.parallel` must aggregate its statistics in the
+shard results and account them in the parent (the simjoin and
+feature-extraction instrumentation does exactly this) — increments made
+inside a forked worker die with the worker.
+
+``get_registry()`` returns the process default; ``use_registry`` swaps in
+a fresh (or given) registry for a ``with`` block, which is how tests and
+the CLI isolate a run's snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.exceptions import ConfigurationError
+
+# (sorted (key, value) pairs) — the canonical, hashable label identity.
+LabelSet = tuple[tuple[str, str], ...]
+
+# Latencies in this codebase span sub-millisecond kernel calls to
+# multi-second benchmark joins; the default boundaries cover that range.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _labelset(labels: dict[str, Any]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """State shared by every metric kind: identity and label set."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, labels: LabelSet):
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {dict(self.labels)}>"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind,
+            "labels": self.label_dict, "value": self.value,
+        }
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind,
+            "labels": self.label_dict, "value": self.value,
+        }
+
+
+class Histogram(_Instrument):
+    """Observations against fixed bucket boundaries, plus sum and count.
+
+    ``bucket_counts[i]`` counts observations ``v`` with
+    ``buckets[i-1] < v <= buckets[i]`` (the first bucket has no lower
+    bound); one extra overflow slot catches everything above the last
+    boundary.  Cumulative (Prometheus ``le``) views are derived at export
+    time by :meth:`cumulative`.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, labels: LabelSet = (), buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ):
+        super().__init__(name, labels)
+        buckets = tuple(float(b) for b in buckets)
+        if not buckets:
+            raise ConfigurationError(f"histogram {self.name!r} needs >= 1 bucket boundary")
+        if list(buckets) != sorted(set(buckets)):
+            raise ConfigurationError(
+                f"histogram {self.name!r} boundaries must be strictly increasing: {buckets}"
+            )
+        self.buckets = buckets
+        self.bucket_counts = [0] * (len(buckets) + 1)  # + overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall seconds spent inside the ``with`` block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, ending at +Inf."""
+        out, running = [], 0
+        for boundary, n in zip(self.buckets, self.bucket_counts):
+            running += n
+            out.append((boundary, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "labels": self.label_dict,
+            "sum": self.sum, "count": self.count,
+            "buckets": list(self.buckets), "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Interns and owns every instrument created through it.
+
+    One instrument exists per ``(name, labels)``; a name is permanently
+    bound to the kind it was first created as, and to its bucket
+    boundaries for histograms (mixing kinds or boundaries under one name
+    would make the exported series unreadable).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelSet], _Instrument] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -- get-or-create -------------------------------------------------
+    def _intern(self, cls, name: str, labels: dict, **kwargs) -> _Instrument:
+        key = (name, _labelset(labels))
+        bound = self._kinds.setdefault(name, cls.kind)
+        if bound != cls.kind:
+            raise ConfigurationError(
+                f"metric {name!r} is registered as a {bound}, "
+                f"cannot be used as a {cls.kind}"
+            )
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls(name, key[1], **kwargs)
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._intern(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._intern(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: Any
+    ) -> Histogram:
+        return self._intern(
+            Histogram, name, labels, buckets=buckets if buckets is not None else DEFAULT_BUCKETS
+        )
+
+    def timer(self, name: str, **labels: Any):
+        """Shorthand: a timing context manager on the named histogram."""
+        return self.histogram(name, **labels).time()
+
+    # -- introspection -------------------------------------------------
+    def instruments(self) -> list[_Instrument]:
+        """Every instrument, sorted by (name, labels) for stable export."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def get(self, name: str, **labels: Any) -> _Instrument | None:
+        """The instrument for (name, labels), or None if never created."""
+        return self._instruments.get((name, _labelset(labels)))
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """A JSON-ready list of every instrument's current state."""
+        return [instrument.to_dict() for instrument in self.instruments()]
+
+    def counters(self) -> dict[tuple[str, LabelSet], float]:
+        """Flat ``(name, labels) -> value`` view of every counter."""
+        return {
+            key: instrument.value
+            for key, instrument in sorted(self._instruments.items())
+            if instrument.kind == "counter"
+        }
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self)} instruments>"
+
+
+# -- the process-default registry --------------------------------------
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry all instrumentation writes to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) default registry for a ``with`` block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

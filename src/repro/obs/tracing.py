@@ -1,0 +1,193 @@
+"""Lightweight span-based tracing.
+
+A :class:`Span` is one named, labeled interval; spans nest, and the
+nesting is recorded as parent/child ids so a trace can be reassembled
+offline.  Two ways to produce spans:
+
+* :func:`trace_span` — a context manager for instrumenting arbitrary
+  code (``with trace_span("verify", measure="jaccard"): ...``); nesting
+  follows the runtime call stack.
+* :func:`event_span_sink` — an :class:`~repro.runtime.events.EventStream`
+  sink that turns each node's ``node_start``/``node_finish``/``node_fail``
+  event pair (and each ``cache_hit``) into a span, so every runtime-graph
+  execution can be traced without touching operator code.
+
+Spans accumulate on a :class:`Tracer` (the process default via
+:func:`get_tracer`, swappable with :func:`use_tracer`) and export as
+JSONL next to the metrics snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.runtime import events as ev
+from repro.runtime.events import RunEvent
+
+
+@dataclass
+class Span:
+    """One named interval in a trace."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    labels: dict[str, str] = field(default_factory=dict)
+    start: float = 0.0  # wall-clock timestamp (time.time)
+    seconds: float = 0.0  # measured duration
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "seconds": self.seconds,
+        }
+        if self.labels:
+            payload["labels"] = self.labels
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class Tracer:
+    """Collects finished spans; hands out nested span ids.
+
+    Nesting state is a plain stack: the runtime executes operators on one
+    thread, and forked workers never share a tracer (each child process
+    gets a copy that dies with it), so no locking is needed.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []  # finished, in completion order
+        self._stack: list[int] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[Span]:
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            labels={str(k): str(v) for k, v in labels.items()},
+            start=time.time(),
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        started = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.error = repr(exc)
+            raise
+        finally:
+            span.seconds = time.perf_counter() - started
+            self._stack.pop()
+            self.spans.append(span)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Export finished spans as one JSON object per line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# -- the process-default tracer -----------------------------------------
+_default_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the default tracer; returns the previous one."""
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Swap in a fresh (or given) default tracer for a ``with`` block."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def trace_span(name: str, tracer: Tracer | None = None, **labels: Any) -> Iterator[Span]:
+    """Record a span on the default (or given) tracer around the block."""
+    with (tracer if tracer is not None else get_tracer()).span(name, **labels) as span:
+        yield span
+
+
+def event_span_sink(tracer: Tracer | None = None) -> Callable[[RunEvent], None]:
+    """An EventStream sink converting per-node run events into spans.
+
+    ``node_start`` opens a span for ``(graph, node)``; the matching
+    ``node_finish``/``node_fail`` closes it with the event's wall seconds
+    (failures carry the error repr).  ``cache_hit`` events become
+    standalone spans labeled ``cached=true`` — there is no start event
+    for a cache hit.  Spans parent onto whatever :func:`trace_span`
+    context is open when the node starts, so graph executions nest under
+    caller-opened spans.
+    """
+    target = tracer if tracer is not None else get_tracer()
+    open_spans: dict[tuple[str, str], Span] = {}
+
+    def sink(event: RunEvent) -> None:
+        if event.node is None:
+            return
+        key = (event.graph, event.node)
+        if event.event == ev.NODE_START:
+            span = Span(
+                name=f"{event.graph}/{event.node}",
+                span_id=target._next_id,
+                parent_id=target._stack[-1] if target._stack else None,
+                labels={"graph": event.graph, "node": event.node},
+                start=event.at or time.time(),
+            )
+            target._next_id += 1
+            open_spans[key] = span
+        elif event.event in (ev.NODE_FINISH, ev.NODE_FAIL):
+            span = open_spans.pop(key, None)
+            if span is None:
+                return
+            span.seconds = event.wall_seconds
+            if event.error is not None:
+                span.error = event.error
+            target.spans.append(span)
+        elif event.event == ev.CACHE_HIT:
+            target.spans.append(
+                Span(
+                    name=f"{event.graph}/{event.node}",
+                    span_id=target._next_id,
+                    parent_id=target._stack[-1] if target._stack else None,
+                    labels={"graph": event.graph, "node": event.node, "cached": "true"},
+                    start=event.at or time.time(),
+                    seconds=event.wall_seconds,
+                )
+            )
+            target._next_id += 1
+
+    return sink

@@ -134,11 +134,19 @@ class EventStream:
             if e.node is not None and e.event in wanted
         )
 
-    def node_timings(self) -> dict[tuple[str, str], float]:
-        """Per-(graph, node) wall seconds from finish/fail events."""
+    def node_timings(self, cached: bool = False) -> dict[tuple[str, str], float]:
+        """Per-(graph, node) wall seconds, real and cached kept apart.
+
+        By default sums only *real* execution time (finish/fail events);
+        ``cached=True`` instead sums memo/checkpoint restore time
+        (cache-hit events).  Conflating the two in one bucket would make
+        a cached rerun look as expensive as the original execution, so
+        profile output built on this method never mixes them.
+        """
+        wanted = (CACHE_HIT,) if cached else (NODE_FINISH, NODE_FAIL)
         timings: dict[tuple[str, str], float] = {}
         for e in self.events:
-            if e.node is not None and e.event in (NODE_FINISH, NODE_FAIL, CACHE_HIT):
+            if e.node is not None and e.event in wanted:
                 timings[(e.graph, e.node)] = timings.get((e.graph, e.node), 0.0) + e.wall_seconds
         return timings
 

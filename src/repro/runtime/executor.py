@@ -262,7 +262,13 @@ def _attempt(operator: Operator, store: ArtifactStore) -> _Outcome:
                 seconds=time.perf_counter() - started, attempts=attempts,
                 error=exc, error_repr=repr(exc),
             )
-        sim_seconds = float(result) if isinstance(result, (int, float)) else 0.0
+        # bool is an int subclass: a predicate-style operator returning
+        # True must not be recorded as 1.0 simulated seconds.
+        sim_seconds = (
+            float(result)
+            if isinstance(result, (int, float)) and not isinstance(result, bool)
+            else 0.0
+        )
         updates = result if isinstance(result, dict) else None
         return _Outcome(
             seconds=time.perf_counter() - started, sim_seconds=sim_seconds,
@@ -400,6 +406,13 @@ def run_graph(
         sim_at=sim_at,
         before_node=before_node,
     )
+    # Node timings/counters land in the metrics registry automatically;
+    # the sink lives only for this run so shared streams (the metamanager
+    # reuses one across fragments) are never double-subscribed.  Imported
+    # here because repro.obs itself builds on repro.runtime.events.
+    from repro.obs.sinks import metrics_sink
+
+    sink = state.events.subscribe(metrics_sink())
     state.events.emit(RunEvent(ev.RUN_START, graph.name, sim_at=sim_at))
     try:
         (executor or SerialExecutor()).drive(state)
@@ -411,6 +424,7 @@ def run_graph(
                 sim_seconds=sum(r.sim_seconds for r in state.records.values()),
             )
         )
+        state.events.unsubscribe(sink)
     return RunResult(
         graph=graph,
         store=state.store,

@@ -19,10 +19,12 @@ byte-identical to serial.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left, bisect_right
 from collections import Counter
 
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry
 from repro.perf.kernels import (
     BOUND_EPS,
     MASK_UNIVERSE_MAX,
@@ -62,6 +64,32 @@ def _tokenize_column(table: Table, key: str, column: str, tokenizer: Tokenizer):
     """Yield (key, token_set); tokenization is memoized per distinct value."""
     for row_key, value in _string_records(table, key, column):
         yield row_key, set(tokenizer.tokenize_cached(value))
+
+
+def _observe_join(
+    join: str,
+    measure: str,
+    seconds: float,
+    probes: int,
+    candidates: int,
+    survivors: int,
+) -> None:
+    """Record one join's filter-verify funnel in the metrics registry.
+
+    Shard workers run in forked processes, so per-shard counts travel
+    back with the shard results and are accounted here, in the parent —
+    a registry increment inside a worker would die with the fork.
+    """
+    reg = get_registry()
+    labels = {"join": join, "measure": measure}
+    reg.counter("simjoin_calls_total", **labels).inc()
+    reg.counter("simjoin_probes_total", **labels).inc(probes)
+    reg.counter("simjoin_candidates_total", **labels).inc(candidates)
+    reg.counter("simjoin_survivors_total", **labels).inc(survivors)
+    reg.gauge("simjoin_survival_ratio", **labels).set(
+        survivors / candidates if candidates else 0.0
+    )
+    reg.histogram("simjoin_seconds", **labels).observe(seconds)
 
 
 def _result_table(rows: list[tuple]) -> Table:
@@ -114,6 +142,7 @@ def set_sim_join(
     if kernel not in KERNELS:
         raise ConfigurationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
 
+    join_started = time.perf_counter()
     left_records = _string_records(ltable, l_key, l_column)
     right_records = _string_records(rtable, r_key, r_column)
 
@@ -167,8 +196,9 @@ def set_sim_join(
     scorer = make_scorer(measure)
     overlap_bound = make_overlap_bound(measure, threshold)
 
-    def join_shard(shard: list[tuple]) -> list[tuple]:
+    def join_shard(shard: list[tuple]) -> tuple[list[tuple], int]:
         results: list[tuple] = []
+        n_candidates = 0
         for l_id, left in shard:
             left_size = len(left)
             if not left_size:
@@ -191,6 +221,7 @@ def set_sim_join(
                 collect(positions[bisect_left(sizes, lower) : bisect_right(sizes, upper)])
             if not candidates:
                 continue
+            n_candidates += len(candidates)
             if use_masks:
                 left_mask = token_mask(left)
                 for position in sorted(candidates):
@@ -209,10 +240,19 @@ def set_sim_join(
                     score = scorer(overlap, left_size, len(right))
                     if score >= threshold:
                         results.append((l_id, r_id, score))
-        return results
+        return results, n_candidates
 
     shards = split_evenly(left_enc, effective_n_jobs(n_jobs))
-    rows = [row for shard in run_sharded(shards, join_shard, n_jobs) for row in shard]
+    shard_outputs = run_sharded(shards, join_shard, n_jobs)
+    rows = [row for results, _ in shard_outputs for row in results]
+    _observe_join(
+        "set_sim",
+        measure,
+        time.perf_counter() - join_started,
+        probes=len(left_enc),
+        candidates=sum(count for _, count in shard_outputs),
+        survivors=len(rows),
+    )
     return _result_table(rows)
 
 
@@ -263,6 +303,7 @@ def edit_distance_join(
     """
     if threshold < 0:
         raise ConfigurationError(f"edit-distance threshold must be >= 0, got {threshold}")
+    join_started = time.perf_counter()
     tokenizer = QgramTokenizer(q=q, padding=False)
     levenshtein = Levenshtein()
 
@@ -298,8 +339,9 @@ def edit_distance_join(
         if len(value) <= vacuous_bound
     ]
 
-    def join_shard(shard: list[tuple]) -> list[tuple]:
+    def join_shard(shard: list[tuple]) -> tuple[list[tuple], int]:
         results: list[tuple] = []
+        n_candidates = 0
         for l_id, left_value in shard:
             counts: dict[int, int] = {}
             for gram, left_count in gram_counts(left_value).items():
@@ -310,6 +352,7 @@ def edit_distance_join(
             candidates = set(counts)
             if len(left_value) <= vacuous_bound:
                 candidates.update(short_right)
+            n_candidates += len(candidates)
             for position in sorted(candidates):
                 r_id, right_value = right_records[position]
                 if abs(len(left_value) - len(right_value)) > threshold:
@@ -320,8 +363,17 @@ def edit_distance_join(
                 distance = levenshtein.get_raw_score(left_value, right_value)
                 if distance <= threshold:
                     results.append((l_id, r_id, distance))
-        return results
+        return results, n_candidates
 
     shards = split_evenly(left_records, effective_n_jobs(n_jobs))
-    rows = [row for shard in run_sharded(shards, join_shard, n_jobs) for row in shard]
+    shard_outputs = run_sharded(shards, join_shard, n_jobs)
+    rows = [row for results, _ in shard_outputs for row in results]
+    _observe_join(
+        "edit_distance",
+        "levenshtein",
+        time.perf_counter() - join_started,
+        probes=len(left_records),
+        candidates=sum(count for _, count in shard_outputs),
+        survivors=len(rows),
+    )
     return _result_table(rows)

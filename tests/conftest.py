@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.catalog import reset_catalog
@@ -16,6 +18,24 @@ def _clean_catalog():
     reset_catalog()
     yield
     reset_catalog()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Archive the run's accumulated metrics when asked to.
+
+    With ``REPRO_METRICS_PATH`` set, the process-default registry — which
+    every instrumented code path under test wrote to — is exported there
+    as JSONL (plus Prometheus text at ``<path>.prom``); CI uploads it as
+    a build artifact.
+    """
+    path = os.environ.get("REPRO_METRICS_PATH")
+    if not path:
+        return
+    from repro.obs import get_registry, write_metrics_jsonl, write_prometheus_text
+
+    registry = get_registry()
+    write_metrics_jsonl(registry, path)
+    write_prometheus_text(registry, f"{path}.prom")
 
 
 @pytest.fixture

@@ -87,6 +87,56 @@ class TestFalconCli:
         matches = read_csv(output)
         assert matches.num_rows > 0
 
+    def test_falcon_metrics_snapshot(self, csv_pair, capsys):
+        from repro.obs import parse_prometheus_text, read_metrics_jsonl, use_registry
+
+        dataset, l_path, r_path, gold_path, tmp = csv_pair
+        metrics_path = tmp / "metrics.jsonl"
+        with use_registry():
+            code = main([
+                "falcon", l_path, r_path, "--gold", gold_path,
+                "--budget", "300", "--output", str(tmp / "falcon.csv"),
+                "--metrics", str(metrics_path),
+            ])
+        assert code == 0
+        names = {row["name"] for row in read_metrics_jsonl(metrics_path)}
+        # Instrumentation from every layer lands in one snapshot.
+        assert "simjoin_calls_total" in names
+        assert "blocking_pairs_total" in names
+        assert "falcon_questions_total" in names
+        assert "feature_cache_hits_total" in names
+        assert "runtime_node_seconds" in names
+        prom = parse_prometheus_text(
+            metrics_path.with_suffix(".jsonl.prom").read_text(encoding="utf-8")
+        )
+        assert prom["types"]["falcon_questions_total"] == "counter"
+        assert prom["types"]["runtime_node_seconds"] == "histogram"
+
+    def test_falcon_events_and_metrics_written_on_failure(
+        self, csv_pair, monkeypatch, capsys
+    ):
+        # Telemetry is the diagnostic artifact: a crashed run must still
+        # flush its event log and metrics snapshot.
+        from repro.obs import use_registry
+
+        _, l_path, r_path, gold_path, tmp = csv_pair
+        events_path = tmp / "events.jsonl"
+        metrics_path = tmp / "metrics.jsonl"
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("mid-run crash")
+
+        monkeypatch.setattr("repro.falcon.run_falcon", explode)
+        with use_registry():
+            with pytest.raises(RuntimeError, match="mid-run crash"):
+                main([
+                    "falcon", l_path, r_path, "--gold", gold_path,
+                    "--events", str(events_path), "--metrics", str(metrics_path),
+                ])
+        assert events_path.exists()
+        assert metrics_path.exists()
+        assert metrics_path.with_suffix(".jsonl.prom").exists()
+
 
 class TestDedupeCli:
     def test_dedupe_with_gold(self, tmp_path, capsys):

@@ -1,0 +1,311 @@
+"""Tests for repro.obs: metrics registry, exporters, tracing, and sinks.
+
+Includes the two issue-mandated property tests: serial vs. parallel
+executions of an instrumented graph produce identical metric counters
+(schedule invariance), and Prometheus text output round-trips counter and
+histogram values through the parser.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    Tracer,
+    event_span_sink,
+    get_registry,
+    get_tracer,
+    parse_prometheus_text,
+    read_metrics_jsonl,
+    to_prometheus_text,
+    trace_span,
+    use_registry,
+    use_tracer,
+    write_metrics_jsonl,
+    write_prometheus_text,
+)
+from repro.runtime import (
+    EventStream,
+    OperatorGraph,
+    ParallelExecutor,
+    SerialExecutor,
+    run_graph,
+)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc()
+        registry.counter("requests_total").inc(4)
+        assert registry.counter("requests_total").value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("n").inc(-1)
+
+    def test_labels_partition_series(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", join="set_sim").inc()
+        registry.counter("calls_total", join="edit_distance").inc(2)
+        assert registry.counter("calls_total", join="set_sim").value == 1
+        assert registry.counter("calls_total", join="edit_distance").value == 2
+        assert len(registry) == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        assert registry.counter("c", b="2", a="1").value == 1
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="registered as"):
+            registry.gauge("x")
+
+    def test_histogram_buckets_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(101.05)
+        cumulative = dict(histogram.cumulative())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 3
+        assert cumulative[math.inf] == 4
+
+    def test_timer_observes_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        assert registry.histogram("t").count == 1
+
+    def test_use_registry_swaps_default(self):
+        outer = get_registry()
+        with use_registry() as inner:
+            assert get_registry() is inner
+            inner.counter("scoped").inc()
+        assert get_registry() is outer
+        assert outer.get("scoped") is None
+
+    def test_snapshot_and_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("a", k="v").inc(3)
+        registry.gauge("g").set(1.5)
+        snapshot = registry.snapshot()
+        assert {entry["name"] for entry in snapshot} == {"a", "g"}
+        assert registry.counters() == {("a", (("k", "v"),)): 3.0}
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("probes_total", join="set_sim").inc(17)
+        registry.gauge("survival_ratio", join="set_sim").set(0.25)
+        histogram = registry.histogram("seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        return registry
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        registry = self._populated()
+        path = write_metrics_jsonl(registry, tmp_path / "metrics.jsonl")
+        rows = read_metrics_jsonl(path)
+        assert {row["name"] for row in rows} == {
+            "probes_total", "survival_ratio", "seconds",
+        }
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["probes_total"]["value"] == 17
+        assert by_name["seconds"]["count"] == 4
+        # Every line is independently parseable JSON.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert all(json.loads(line) for line in lines)
+
+    def test_prometheus_text_shape(self, tmp_path):
+        registry = self._populated()
+        text = to_prometheus_text(registry)
+        assert "# TYPE probes_total counter" in text
+        assert 'probes_total{join="set_sim"} 17.0' in text
+        assert 'seconds_bucket{le="+Inf"} 4' in text
+        assert "seconds_count 4" in text
+        path = write_prometheus_text(registry, tmp_path / "metrics.prom")
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_prometheus_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c", attr='we"ird\\nam\ne').inc()
+        text = to_prometheus_text(registry)
+        parsed = parse_prometheus_text(text)
+        ((_, labels),) = list(parsed["samples"])
+        assert dict(labels) == {"attr": 'we"ird\\nam\ne'}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        counts=st.dictionaries(
+            st.text(
+                alphabet="abcdefghij_", min_size=1, max_size=8
+            ).filter(lambda s: not s.startswith("_")),
+            st.integers(min_value=0, max_value=10**9),
+            min_size=1,
+            max_size=5,
+        ),
+        observations=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+            max_size=20,
+        ),
+    )
+    def test_prometheus_roundtrip_property(self, counts, observations):
+        registry = MetricsRegistry()
+        for label_value, count in counts.items():
+            registry.counter("ops_total", kind=label_value).inc(count)
+        histogram = registry.histogram("latency_seconds")
+        for value in observations:
+            histogram.observe(value)
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["types"]["ops_total"] == "counter"
+        for label_value, count in counts.items():
+            key = ("ops_total", (("kind", label_value),))
+            assert parsed["samples"][key] == pytest.approx(float(count))
+        assert parsed["samples"][("latency_seconds_count", ())] == len(observations)
+        assert parsed["samples"][("latency_seconds_sum", ())] == pytest.approx(
+            math.fsum(observations), rel=1e-9, abs=1e-9
+        )
+        # Cumulative bucket counts reconstruct exactly.
+        for boundary in DEFAULT_BUCKETS:
+            key = ("latency_seconds_bucket", (("le", repr(float(boundary))),))
+            expected = sum(1 for value in observations if value <= boundary)
+            assert parsed["samples"][key] == expected
+
+
+def instrumented_graph():
+    """A diamond whose operators increment counters through the registry."""
+    graph = OperatorGraph("obs-diamond")
+
+    def work(name, updates):
+        def op(store):
+            get_registry().counter("node_runs_total", node=name).inc()
+            get_registry().counter("rows_total").inc(updates["rows"])
+            return {name: updates["rows"]}
+
+        return op
+
+    graph.add("a", work("a", {"rows": 2}), outputs=("a",))
+    graph.add("b", work("b", {"rows": 10}), deps=("a",), outputs=("b",))
+    graph.add("c", work("c", {"rows": 20}), deps=("a",), outputs=("c",))
+    graph.add("d", work("d", {"rows": 1}), deps=("b", "c"), outputs=("d",))
+    return graph
+
+
+class TestScheduleInvariance:
+    def _counters(self, executor):
+        with use_registry() as registry:
+            run_graph(instrumented_graph(), executor=executor)
+            return registry.counters()
+
+    def test_serial_and_parallel_counters_identical(self):
+        serial = self._counters(SerialExecutor())
+        parallel = self._counters(ParallelExecutor(n_jobs=2))
+        assert serial == parallel
+        assert serial[("rows_total", ())] == 33.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_jobs=st.integers(min_value=1, max_value=4))
+    def test_any_worker_count_matches_serial(self, n_jobs):
+        serial = self._counters(SerialExecutor())
+        parallel = self._counters(ParallelExecutor(n_jobs=n_jobs))
+        assert serial == parallel
+
+    def test_runtime_sink_metrics_are_schedule_invariant(self):
+        # The auto-subscribed runtime sink counts node events; those
+        # counters must not depend on the executor either.
+        def run(executor):
+            with use_registry() as registry:
+                run_graph(instrumented_graph(), executor=executor)
+                return {
+                    key: value
+                    for key, value in registry.counters().items()
+                    if key[0] == "runtime_node_events_total"
+                }
+
+        assert run(SerialExecutor()) == run(ParallelExecutor(n_jobs=3))
+
+
+class TestRuntimeSink:
+    def test_run_graph_feeds_registry_automatically(self):
+        with use_registry() as registry:
+            run_graph(instrumented_graph())
+            key = ("runtime_runs_total", (("graph", "obs-diamond"),))
+            assert registry.counters()[key] == 1.0
+            histogram = registry.get("runtime_node_seconds", graph="obs-diamond")
+            assert histogram.count == 4
+
+    def test_shared_stream_not_double_counted(self):
+        # The metamanager reuses one EventStream across fragments; the
+        # per-run sink must subscribe and unsubscribe around its own run.
+        events = EventStream()
+        with use_registry() as registry:
+            run_graph(instrumented_graph(), events=events)
+            run_graph(instrumented_graph(), events=events)
+            key = ("runtime_runs_total", (("graph", "obs-diamond"),))
+            assert registry.counters()[key] == 2.0
+            assert registry.get("runtime_node_seconds", graph="obs-diamond").count == 8
+
+
+class TestTracing:
+    def test_nested_spans_record_parentage(self):
+        tracer = Tracer()
+        with tracer.span("outer", run="1"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans[1], tracer.spans[0]
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert outer.labels == {"run": "1"}
+        assert outer.seconds >= inner.seconds >= 0.0
+
+    def test_span_records_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        assert "nope" in tracer.spans[0].error
+
+    def test_trace_span_uses_default_tracer(self):
+        with use_tracer() as tracer:
+            with trace_span("step", stage="blocking"):
+                assert get_tracer() is tracer
+        assert [span.name for span in tracer.spans] == ["step"]
+
+    def test_event_span_sink_mirrors_nodes(self):
+        tracer = Tracer()
+        events = EventStream()
+        events.subscribe(event_span_sink(tracer))
+        run_graph(instrumented_graph(), events=events)
+        names = {span.name for span in tracer.spans}
+        assert names == {f"obs-diamond/{n}" for n in "abcd"}
+        assert all(span.labels["node"] in "abcd" for span in tracer.spans)
+
+    def test_jsonl_export(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tracer.write_jsonl(tmp_path / "spans.jsonl")
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["name"] == "only"

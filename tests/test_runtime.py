@@ -131,6 +131,21 @@ class TestRunGraph:
         assert result.sim_seconds() == pytest.approx(42.5)
         assert result.records["human"].sim_seconds == pytest.approx(42.5)
 
+    def test_bool_return_is_not_sim_seconds(self):
+        # bool is an int subclass: a predicate-style operator returning
+        # True must not be billed as 1.0 simulated seconds.
+        graph = OperatorGraph("pred")
+        graph.add("check", lambda s: True)
+        graph.add("deny", lambda s: False, deps=("check",))
+        result = run_graph(graph)
+        assert result.sim_seconds() == 0.0
+        assert result.records["check"].sim_seconds == 0.0
+        assert result.records["deny"].sim_seconds == 0.0
+        # Real int/float returns are still simulated seconds.
+        graph2 = OperatorGraph("sim2")
+        graph2.add("crowd", lambda s: 3)
+        assert run_graph(graph2).sim_seconds() == pytest.approx(3.0)
+
     def test_store_mutated_in_place(self):
         store = {"seed": 1}
         result = run_graph(
@@ -225,6 +240,17 @@ class TestEvents:
         result = run_graph(diamond_graph())
         timings = result.events.node_timings()
         assert set(timings) == {("diamond", n) for n in "abcd"}
+
+    def test_node_timings_separate_cached_from_real(self):
+        # A cache restore must not masquerade as execution time: real
+        # timings come from NODE_FINISH, cached ones from CACHE_HIT.
+        memo = NodeMemo()
+        events = EventStream()
+        run_graph(diamond_graph(), memo=memo)
+        run_graph(diamond_graph(), memo=memo, events=events)
+        assert events.node_timings() == {}
+        cached = events.node_timings(cached=True)
+        assert set(cached) == {("diamond", n) for n in "abcd"}
 
 
 class TestMemoAndCheckpoint:
