@@ -13,6 +13,17 @@ Subcommands
     Single-table deduplication; writes the deduplicated table.
 ``repro schema-match A.csv B.csv``
     Propose attribute correspondences between differently-named schemas.
+``repro index build A.csv --key id [--column name] --cache-dir DIR``
+    Pre-build the reusable index artifacts (tokenizations, q-gram bags)
+    for a table's string columns and persist them, so later matching
+    runs pointed at the same cache start warm.
+``repro index inspect --cache-dir DIR``
+    List the persisted index artifacts in a cache directory.
+
+The workflow subcommands take ``--index-cache DIR``: the process-default
+:class:`repro.index.IndexStore` then persists every index artifact it
+builds under DIR and serves repeated runs from it (the
+``REPRO_INDEX_CACHE`` environment variable does the same).
 
 A gold file is a two-column CSV ``l_id,r_id`` of known matching pairs;
 when given, labeling questions are answered by an oracle (useful for
@@ -200,6 +211,77 @@ def cmd_dedupe(args) -> int:
     return 0
 
 
+def _string_columns(table: Table, key: str) -> list[str]:
+    schema = infer_schema(table)
+    return [
+        name
+        for name in table.columns
+        if name != key
+        and schema[name]
+        in (ColumnType.SHORT_STRING, ColumnType.MEDIUM_STRING, ColumnType.LONG_STRING)
+    ]
+
+
+def cmd_index_build(args) -> int:
+    """Pre-build and persist the index artifacts for a table's columns."""
+    import time
+
+    from repro.index import IndexStore
+    from repro.table.schema import is_missing
+    from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+    table = read_csv(args.table)
+    columns = args.column or _string_columns(table, args.key)
+    if not columns:
+        raise SystemExit("no string columns to index; pass --column")
+    store = IndexStore(cache_dir=args.cache_dir)
+    tokenizers = [
+        WhitespaceTokenizer(return_set=True),
+        QgramTokenizer(q=args.q, return_set=True),
+    ]
+    rows = []
+    for column in columns:
+        started = time.perf_counter()
+        # The blockers and rule executors probe lowercased projections,
+        # so artifacts are built for both the raw column and its
+        # lowered view — either form of a later probe starts warm.
+        lowered = Table(
+            {
+                args.key: table.column(args.key),
+                column: [
+                    None if is_missing(v) else str(v).lower()
+                    for v in table.column(column)
+                ],
+            }
+        )
+        for view in (table, lowered):
+            for tokenizer in tokenizers:
+                store.tokenized_column(view, args.key, column, tokenizer)
+            store.gram_bags(view, args.key, column, args.q)
+        rows.append((column, time.perf_counter() - started))
+    for column, seconds in rows:
+        print(f"indexed {column!r} in {seconds:.2f}s")
+    artifacts = store.disk_artifacts()
+    total = sum(row["bytes"] for row in artifacts)
+    print(f"{len(artifacts)} artifacts ({total} bytes) in {args.cache_dir}")
+    return 0
+
+
+def cmd_index_inspect(args) -> int:
+    """List the persisted index artifacts in a cache directory."""
+    from repro.index import IndexStore
+
+    artifacts = IndexStore(cache_dir=args.cache_dir).disk_artifacts()
+    if not artifacts:
+        print(f"no index artifacts under {args.cache_dir}")
+        return 1
+    print(f"{'kind':<12} {'bytes':>10}  digest")
+    for row in artifacts:
+        print(f"{row['kind']:<12} {row['bytes']:>10}  {row['digest']}")
+    print(f"{len(artifacts)} artifacts, {sum(r['bytes'] for r in artifacts)} bytes total")
+    return 0
+
+
 def cmd_schema_match(args) -> int:
     """Propose attribute correspondences between two CSV tables."""
     from repro.schema_matching import match_schemas
@@ -248,6 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--metrics", default=None, metavar="PATH",
             help="write the metrics registry here (JSONL + PATH.prom)",
         )
+        p.add_argument(
+            "--index-cache", default=None, metavar="DIR",
+            help="persist/reuse index artifacts under DIR across runs",
+        )
         if name == "falcon":
             p.add_argument(
                 "--events", default=None, metavar="PATH",
@@ -267,7 +353,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="write the metrics registry here (JSONL + PATH.prom)",
     )
+    p.add_argument(
+        "--index-cache", default=None, metavar="DIR",
+        help="persist/reuse index artifacts under DIR across runs",
+    )
     p.set_defaults(fn=cmd_dedupe)
+
+    p = sub.add_parser("index", help="build or inspect reusable index artifacts")
+    index_sub = p.add_subparsers(dest="index_command", required=True)
+    p = index_sub.add_parser("build", help="pre-build index artifacts for a table")
+    p.add_argument("table")
+    p.add_argument("--key", default="id")
+    p.add_argument(
+        "--column", action="append", default=None,
+        help="column to index (repeatable; default: every string column)",
+    )
+    p.add_argument("--q", type=int, default=3, help="q-gram size")
+    p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
+    p.set_defaults(fn=cmd_index_build)
+    p = index_sub.add_parser("inspect", help="list persisted index artifacts")
+    p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
+    p.set_defaults(fn=cmd_index_inspect)
 
     p = sub.add_parser("schema-match", help="propose attribute correspondences")
     p.add_argument("ltable")
@@ -291,6 +397,11 @@ def _write_metrics(path: str) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    index_cache = getattr(args, "index_cache", None)
+    if index_cache:
+        from repro.index import IndexStore, set_index_store
+
+        set_index_store(IndexStore(cache_dir=index_cache))
     metrics_path = getattr(args, "metrics", None)
     if not metrics_path:
         return args.fn(args)

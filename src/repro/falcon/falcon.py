@@ -174,6 +174,19 @@ def build_falcon_graph(
     """
     graph = OperatorGraph(f"falcon/{dataset.name}")
 
+    # The fallback blocker is constructed once per run, outside the
+    # node bodies: its (attr, overlap) configuration is fixed by the
+    # config/dataset, and its underlying tokenization + prefix index are
+    # IndexStore artifacts, so re-running the blocking stage (retries,
+    # checkpoint resumes, repeated Falcon runs over the same tables)
+    # reuses the same index instead of rebuilding it each round.
+    fallback_attr = config.fallback_overlap_attr
+    if fallback_attr is None:
+        fallback_attr = next(
+            name for name in dataset.ltable.columns if name != dataset.l_key
+        )
+    fallback_blocker = OverlapBlocker(fallback_attr, overlap_size=1)
+
     def observe_stage(stage: str, result: ActiveLearningResult) -> None:
         registry = get_registry()
         registry.counter("falcon_iterations_total", stage=stage).inc(result.iterations)
@@ -264,15 +277,10 @@ def build_falcon_graph(
             )
             store["used_fallback"] = False
         else:
-            # No precise executable rule: fall back to a conservative
-            # overlap blocker on the designated (or first string) attribute.
-            attr = config.fallback_overlap_attr
-            if attr is None:
-                attr = next(
-                    name for name in dataset.ltable.columns if name != dataset.l_key
-                )
-            blocker = OverlapBlocker(attr, overlap_size=1)
-            store["candset"] = blocker.block_tables(
+            # No precise executable rule: fall back to the conservative
+            # overlap blocker on the designated (or first string)
+            # attribute, constructed once at graph build time.
+            store["candset"] = fallback_blocker.block_tables(
                 dataset.ltable,
                 dataset.rtable,
                 dataset.l_key,

@@ -56,52 +56,63 @@ def extract_feature_vecs(
         candset.require_columns([label_column])
 
     features = list(feature_table)
-
-    def extract_shard(
-        shard: list[tuple[Any, Any]],
-    ) -> tuple[dict[str, list[Any]], int, int]:
-        # Candidate sets repeat attribute-value pairs heavily (think state
-        # or city columns), so each feature's values are memoized per
-        # distinct (l_value, r_value) pair.  Unhashable values fall back
-        # to direct evaluation.  Hit/miss counts travel back with the
-        # shard and are accounted in the parent process (a registry
-        # increment inside a forked worker would be lost).
-        shard_columns: dict[str, list[Any]] = {f.name: [] for f in features}
-        memos: dict[str, dict] = {f.name: {} for f in features}
-        hits = misses = 0
-        for l_key_value, r_key_value in shard:
-            l_row = l_index[l_key_value]
-            r_row = r_index[r_key_value]
-            for feature in features:
-                l_value = l_row[feature.l_attr]
-                r_value = r_row[feature.r_attr]
-                memo = memos[feature.name]
-                try:
-                    value = memo.get((l_value, r_value), _MISS)
-                    if value is _MISS:
-                        misses += 1
-                        value = memo[(l_value, r_value)] = feature(l_value, r_value)
-                    else:
-                        hits += 1
-                except TypeError:
-                    misses += 1
-                    value = feature(l_value, r_value)
-                shard_columns[feature.name].append(value)
-        return shard_columns, hits, misses
-
     pairs = list(zip(candset.column(meta.fk_ltable), candset.column(meta.fk_rtable)))
-    shards = split_evenly(pairs, effective_n_jobs(n_jobs))
-    for feature in features:
-        columns[feature.name] = []
-    total_hits = total_misses = 0
-    for shard_columns, hits, misses in run_sharded(shards, extract_shard, n_jobs):
-        total_hits += hits
-        total_misses += misses
-        for name, values in shard_columns.items():
-            columns[name].extend(values)
+
+    # Batch columnar extraction with *global* deduplication: candidate
+    # sets repeat attribute-value pairs heavily (think state or city
+    # columns), so each feature is evaluated once per distinct
+    # (l_value, r_value) pair across the WHOLE candidate set — the dedup
+    # happens before the process-pool fan-out, so duplicate pairs landing
+    # in different shards can never recompute (the old per-shard memo
+    # did exactly that).  ``tasks`` holds one entry per distinct
+    # evaluation; ``slots[f]`` maps each candset row to its task, and the
+    # scatter at the end rebuilds the columns in row order, byte-
+    # identical to per-pair evaluation.  Unhashable values cannot be
+    # deduped and get one task per occurrence.
+    tasks: list[tuple[int, Any, Any]] = []
+    task_ids: dict[tuple[int, Any, Any], int] = {}
+    slots: list[list[int]] = [[] for _ in features]
+    hits = 0
+    for l_key_value, r_key_value in pairs:
+        l_row = l_index[l_key_value]
+        r_row = r_index[r_key_value]
+        for feature_index, feature in enumerate(features):
+            task = (feature_index, l_row[feature.l_attr], r_row[feature.r_attr])
+            try:
+                slot = task_ids.get(task, _MISS)
+                hashable = True
+            except TypeError:
+                slot = _MISS
+                hashable = False
+            if slot is _MISS:
+                slot = len(tasks)
+                tasks.append(task)
+                if hashable:
+                    task_ids[task] = slot
+            else:
+                hits += 1
+            slots[feature_index].append(slot)
+
+    def evaluate_shard(shard: range) -> list[Any]:
+        # Workers receive shard *ranges*; the task list itself is
+        # inherited through fork, and only the computed values cross the
+        # process boundary on the way back.
+        return [
+            features[feature_index](l_value, r_value)
+            for feature_index, l_value, r_value in (tasks[i] for i in shard)
+        ]
+
+    shards = split_evenly(range(len(tasks)), effective_n_jobs(n_jobs))
+    values: list[Any] = []
+    for shard_values in run_sharded(shards, evaluate_shard, n_jobs):
+        values.extend(shard_values)
+    for feature, feature_slots in zip(features, slots):
+        columns[feature.name] = [values[slot] for slot in feature_slots]
     registry = get_registry()
-    registry.counter("feature_cache_hits_total").inc(total_hits)
-    registry.counter("feature_cache_misses_total").inc(total_misses)
+    # Misses = distinct evaluations actually performed; hits = repeated
+    # occurrences served by the global dedup.
+    registry.counter("feature_cache_hits_total").inc(hits)
+    registry.counter("feature_cache_misses_total").inc(len(tasks))
     registry.counter("feature_vectors_total").inc(len(pairs))
     if label_column is not None:
         columns[label_column] = list(candset.column(label_column))

@@ -1,0 +1,45 @@
+"""repro.index — reusable, persistent index artifacts for the hot paths.
+
+The platform-service answer to "every command rebuilds its own index":
+a :class:`IndexStore` materializes tokenizations, token-id encodings,
+prefix-filter postings, verification masks, and q-gram indexes once per
+*content fingerprint* and serves them to every sim join, blocker,
+blocking-rule execution, and Falcon/Smurf iteration that asks again —
+in memory within a process, and from an atomic on-disk cache across
+runs.  See :mod:`repro.index.store` for the artifact chain and
+:mod:`repro.index.fingerprints` for the keying scheme.
+"""
+
+from repro.index.fingerprints import (
+    FORMAT_VERSION,
+    column_fingerprint,
+    combine,
+    tokenizer_fingerprint,
+)
+from repro.index.store import (
+    ARTIFACT_KINDS,
+    GramIndex,
+    IndexStore,
+    PairEncoding,
+    PrefixIndex,
+    TokenizedColumn,
+    get_index_store,
+    set_index_store,
+    use_index_store,
+)
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "FORMAT_VERSION",
+    "GramIndex",
+    "IndexStore",
+    "PairEncoding",
+    "PrefixIndex",
+    "TokenizedColumn",
+    "column_fingerprint",
+    "combine",
+    "get_index_store",
+    "set_index_store",
+    "tokenizer_fingerprint",
+    "use_index_store",
+]

@@ -1,0 +1,70 @@
+"""Content fingerprints for index artifacts.
+
+The runtime's :func:`repro.runtime.fingerprint` is *structural* — it
+hashes node names and dependency digests, and callers salt in content
+identity by hand.  Index artifacts cannot rely on structure: the same
+logical column arrives as ever-fresh ``Table`` objects (blockers and
+rule execution build projected views per call), and a mutated table must
+never serve a stale index.  So artifact keys hash *content*: the key and
+value columns are streamed value-by-value into the digest, and every
+derived artifact chains the digests of what it was built from, exactly
+as ``node_fingerprints`` chains dependency fingerprints.
+
+Fingerprinting is O(n) per call, but n is a column scan — orders of
+magnitude cheaper than the tokenize/encode/index build it lets us skip,
+and the only way mutation detection can be sound without a table version
+counter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+from typing import Any
+
+from repro.table.table import Table
+from repro.text.tokenizers import Tokenizer
+
+# Bump when any artifact layout changes: persisted artifacts from older
+# code must miss, not unpickle into the wrong shape.
+FORMAT_VERSION = 1
+
+_SEP = b"\x00"
+
+
+def _stream(digest, parts: Iterable[Any]) -> None:
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(_SEP)
+
+
+def combine(*parts: Any) -> str:
+    """Digest small key parts (kind tags, digests, thresholds) into one."""
+    digest = hashlib.sha256()
+    _stream(digest, (FORMAT_VERSION, *parts))
+    return digest.hexdigest()[:32]
+
+
+def column_fingerprint(table: Table, key: str, column: str) -> str:
+    """Content digest of a keyed column: the (key, value) sequence.
+
+    Deliberately independent of the *names* of the columns: blockers and
+    rule execution probe through projected views (``_blk``/``_v``), and a
+    view over unchanged values must hit the artifacts of the original.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"column\x00")
+    _stream(digest, table.column(key))
+    digest.update(b"\x00values\x00")
+    _stream(digest, table.column(column))
+    return digest.hexdigest()[:32]
+
+
+def tokenizer_fingerprint(tokenizer: Tokenizer) -> str:
+    """Digest of a tokenizer's :meth:`~repro.text.tokenizers.Tokenizer.spec`.
+
+    Covers the class and every constructor parameter (q, padding, pads,
+    delimiters, ``return_set``), so changing the tokenizer can never
+    serve the previous tokenizer's artifacts.
+    """
+    return combine("tokenizer", tokenizer.spec())

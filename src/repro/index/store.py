@@ -1,0 +1,400 @@
+"""Build-once/probe-many index artifacts shared by every hot path.
+
+Every ``set_sim_join``, ``OverlapBlocker`` run, blocking-rule execution,
+and Falcon/Smurf iteration needs the same expensive intermediates:
+string records, per-value token sets, a :class:`TokenUniverse` with
+token-id encodings, size-sorted prefix-filter postings, verification
+bitmasks, and q-gram count indexes.  Before this module each call
+rebuilt them from scratch; the :class:`IndexStore` materializes each
+artifact once under a *content fingerprint* and serves every later call
+— the same table content probed again (even through a freshly projected
+view, as the blockers and rule executors do) is a cache hit, while a
+mutated table or a different tokenizer changes the fingerprint and can
+never be served a stale index.
+
+Artifacts form a dependency chain mirroring the join pipeline, each
+keyed by the digests of what it was built from::
+
+    records(table, key, column)                     "records"
+      -> tokenized column (token sets per value)    "tokens"
+          -> pair encoding (universe + id tuples)   "encoding"
+              -> prefix postings index              "prefix"
+              -> verification bitmasks              "masks"
+      -> q-gram bags / count-filter index           "grambags"/"gramindex"
+
+Two tiers: an in-process LRU (shared by default across all callers via
+:func:`get_index_store`), and an optional on-disk cache (``cache_dir``,
+or the ``REPRO_INDEX_CACHE`` environment variable for the process
+default) written atomically so repeated workflow runs and
+``CheckpointedRun`` resumes start warm.  A corrupted or truncated cache
+file is treated as a miss and rebuilt, never trusted.
+
+Observability: ``index_builds_total``/``index_reuses_total`` counters
+(labelled by artifact ``kind``; reuses also carry ``tier="memory"`` or
+``"disk"``), the ``index_build_seconds`` histogram, and
+``index_disk_errors_total`` for corrupt-file fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.index.fingerprints import (
+    column_fingerprint,
+    combine,
+    tokenizer_fingerprint,
+)
+from repro.obs import get_registry
+from repro.perf.kernels import token_mask
+from repro.perf.tokens import TokenUniverse
+from repro.runtime.checkpoint import atomic_write_bytes
+from repro.table.schema import is_missing
+from repro.table.table import Table
+from repro.text.tokenizers import QgramTokenizer, Tokenizer
+
+ARTIFACT_KINDS = (
+    "records", "tokens", "encoding", "prefix", "masks", "grambags", "gramindex",
+)
+
+
+class TokenizedColumn:
+    """One column's records plus the token set of each distinct value."""
+
+    __slots__ = ("key", "records", "token_sets")
+
+    def __init__(
+        self,
+        key: str,
+        records: list[tuple[Any, str]],
+        token_sets: dict[str, set[str]],
+    ):
+        self.key = key
+        self.records = records
+        self.token_sets = token_sets
+
+
+class PairEncoding:
+    """A join pair's shared universe and per-record token-id tuples.
+
+    ``left``/``right`` hold ``(row_key, ids)`` in record order; ids are
+    sorted rarest-first, so a prefix is a slice.  The universe ranks by
+    combined corpus frequency with one contribution per *record* (not
+    per distinct value), byte-identical to what the join built inline.
+    """
+
+    __slots__ = ("key", "universe", "left", "right")
+
+    def __init__(
+        self,
+        key: str,
+        universe: TokenUniverse,
+        left: list[tuple[Any, tuple[int, ...]]],
+        right: list[tuple[Any, tuple[int, ...]]],
+    ):
+        self.key = key
+        self.universe = universe
+        self.left = left
+        self.right = right
+
+
+class PrefixIndex:
+    """Token id -> (sizes, positions) postings sorted by right-set size."""
+
+    __slots__ = ("key", "index")
+
+    def __init__(self, key: str, index: dict[int, tuple[list[int], list[int]]]):
+        self.key = key
+        self.index = index
+
+
+class GramIndex:
+    """q-gram -> [(right position, gram count)] for the edit-join filter."""
+
+    __slots__ = ("key", "index")
+
+    def __init__(self, key: str, index: dict[str, list[tuple[int, int]]]):
+        self.key = key
+        self.index = index
+
+
+class IndexStore:
+    """Two-tier (memory LRU + optional disk) cache of index artifacts.
+
+    All artifacts are read-only once built; callers — including forked
+    join shards, which inherit them by fork — must not mutate them.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, max_entries: int = 256):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_entries = max(1, int(max_entries))
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Cache machinery
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.cache_dir / f"{kind}-{digest}.pkl"
+
+    def _remember(self, digest: str, artifact: Any) -> None:
+        self._memory[digest] = artifact
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def _get(self, kind: str, digest: str, build, persist: bool = True) -> Any:
+        registry = get_registry()
+        artifact = self._memory.get(digest)
+        if artifact is not None:
+            self._memory.move_to_end(digest)
+            registry.counter("index_reuses_total", kind=kind, tier="memory").inc()
+            return artifact
+        if persist and self.cache_dir is not None:
+            path = self._path(kind, digest)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        artifact = pickle.load(handle)
+                except Exception:
+                    # Truncated/corrupt cache files fall back to a rebuild.
+                    registry.counter("index_disk_errors_total", kind=kind).inc()
+                    artifact = None
+                if artifact is not None:
+                    self._remember(digest, artifact)
+                    registry.counter(
+                        "index_reuses_total", kind=kind, tier="disk"
+                    ).inc()
+                    return artifact
+        started = time.perf_counter()
+        artifact = build()
+        registry.counter("index_builds_total", kind=kind).inc()
+        registry.histogram("index_build_seconds", kind=kind).observe(
+            time.perf_counter() - started
+        )
+        self._remember(digest, artifact)
+        if persist and self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(
+                self._path(kind, digest),
+                pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        return artifact
+
+    # ------------------------------------------------------------------
+    # Artifact accessors (the join/blocker building blocks)
+    # ------------------------------------------------------------------
+    def string_records(self, table: Table, key: str, column: str) -> list[tuple]:
+        """``(row_key, str value)`` per row with a non-missing value."""
+        table.require_columns([key, column])
+        return self._records(column_fingerprint(table, key, column), table, key, column)
+
+    def _records(self, col_fp: str, table: Table, key: str, column: str) -> list[tuple]:
+        def build() -> list[tuple]:
+            return [
+                (row_key, str(value))
+                for row_key, value in zip(table.column(key), table.column(column))
+                if not is_missing(value)
+            ]
+
+        return self._get("records", combine("records", col_fp), build)
+
+    def tokenized_column(
+        self, table: Table, key: str, column: str, tokenizer: Tokenizer
+    ) -> TokenizedColumn:
+        """Records plus one token set per distinct value of the column."""
+        table.require_columns([key, column])
+        col_fp = column_fingerprint(table, key, column)
+        digest = combine("tokens", col_fp, tokenizer_fingerprint(tokenizer))
+
+        def build() -> TokenizedColumn:
+            records = self._records(col_fp, table, key, column)
+            token_sets: dict[str, set[str]] = {}
+            for _, value in records:
+                if value not in token_sets:
+                    token_sets[value] = set(tokenizer.tokenize_cached(value))
+            return TokenizedColumn(digest, records, token_sets)
+
+        return self._get("tokens", digest, build)
+
+    def pair_encoding(self, left: TokenizedColumn, right: TokenizedColumn) -> PairEncoding:
+        """Shared :class:`TokenUniverse` and encoded records for a join pair."""
+        digest = combine("encoding", left.key, right.key)
+
+        def build() -> PairEncoding:
+            universe = TokenUniverse(
+                side.token_sets[value]
+                for side in (left, right)
+                for _, value in side.records
+            )
+            encoded: dict[str, tuple[int, ...]] = {}
+
+            def encode(side: TokenizedColumn, value: str) -> tuple[int, ...]:
+                ids = encoded.get(value)
+                if ids is None:
+                    ids = encoded[value] = universe.encode(side.token_sets[value])
+                return ids
+
+            return PairEncoding(
+                digest,
+                universe,
+                [(row_key, encode(left, value)) for row_key, value in left.records],
+                [(row_key, encode(right, value)) for row_key, value in right.records],
+            )
+
+        return self._get("encoding", digest, build)
+
+    def prefix_index(
+        self,
+        encoding: PairEncoding,
+        measure: str,
+        threshold: float,
+        use_prefix_filter: bool = True,
+    ) -> PrefixIndex:
+        """Size-sorted postings over the right side's (prefix) tokens."""
+        from repro.simjoin.filters import prefix_length
+
+        digest = combine("prefix", encoding.key, measure, threshold, use_prefix_filter)
+
+        def build() -> PrefixIndex:
+            postings_by_token: dict[int, list[tuple[int, int]]] = {}
+            for position, (_, tokens) in enumerate(encoding.right):
+                size = len(tokens)
+                if not size:
+                    continue
+                prefix = (
+                    tokens[: prefix_length(measure, threshold, size)]
+                    if use_prefix_filter
+                    else tokens
+                )
+                for token in prefix:
+                    postings_by_token.setdefault(token, []).append((size, position))
+            index: dict[int, tuple[list[int], list[int]]] = {}
+            for token, postings in postings_by_token.items():
+                postings.sort()
+                index[token] = ([s for s, _ in postings], [p for _, p in postings])
+            return PrefixIndex(digest, index)
+
+        return self._get("prefix", digest, build)
+
+    def right_masks(self, encoding: PairEncoding) -> list[int]:
+        """Verification bitmasks for the right side (mask kernel)."""
+        return self._get(
+            "masks",
+            combine("masks", encoding.key),
+            lambda: [token_mask(tokens) for _, tokens in encoding.right],
+        )
+
+    def gram_bags(self, table: Table, key: str, column: str, q: int) -> dict[str, Counter]:
+        """Unpadded q-gram multiset per distinct value of the column."""
+        table.require_columns([key, column])
+        col_fp = column_fingerprint(table, key, column)
+        digest = combine("grambags", col_fp, q)
+
+        def build() -> dict[str, Counter]:
+            tokenizer = QgramTokenizer(q=q, padding=False)
+            records = self._records(col_fp, table, key, column)
+            bags: dict[str, Counter] = {}
+            for _, value in records:
+                if value not in bags:
+                    bags[value] = Counter(tokenizer.tokenize_cached(value))
+            return bags
+
+        return self._get("grambags", digest, build)
+
+    def gram_index(self, table: Table, key: str, column: str, q: int) -> GramIndex:
+        """Inverted q-gram count index over the column (edit-join filter)."""
+        table.require_columns([key, column])
+        col_fp = column_fingerprint(table, key, column)
+        digest = combine("gramindex", col_fp, q)
+
+        def build() -> GramIndex:
+            records = self._records(col_fp, table, key, column)
+            bags = self.gram_bags(table, key, column, q)
+            index: dict[str, list[tuple[int, int]]] = {}
+            for position, (_, value) in enumerate(records):
+                for gram, count in bags[value].items():
+                    index.setdefault(gram, []).append((position, count))
+            return GramIndex(digest, index)
+
+        return self._get("gramindex", digest, build)
+
+    # ------------------------------------------------------------------
+    # Introspection and maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None and self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def disk_artifacts(self) -> list[dict[str, Any]]:
+        """One row per persisted artifact: kind, digest, size in bytes."""
+        rows: list[dict[str, Any]] = []
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return rows
+        for path in sorted(self.cache_dir.glob("*.pkl")):
+            kind, _, digest = path.stem.partition("-")
+            rows.append(
+                {
+                    "kind": kind,
+                    "digest": digest,
+                    "bytes": path.stat().st_size,
+                    "file": path.name,
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f", cache_dir={str(self.cache_dir)!r}" if self.cache_dir else ""
+        return f"<IndexStore {len(self._memory)} artifacts in memory{where}>"
+
+
+# ----------------------------------------------------------------------
+# Process-default store
+# ----------------------------------------------------------------------
+_default_store: IndexStore | None = None
+
+
+def get_index_store() -> IndexStore:
+    """The process-wide store every join and blocker consults.
+
+    Created lazily; honours the ``REPRO_INDEX_CACHE`` environment
+    variable as its disk cache directory.
+    """
+    global _default_store
+    if _default_store is None:
+        _default_store = IndexStore(
+            cache_dir=os.environ.get("REPRO_INDEX_CACHE") or None
+        )
+    return _default_store
+
+
+def set_index_store(store: IndexStore | None) -> IndexStore | None:
+    """Swap the process-default store; returns the previous one."""
+    global _default_store
+    previous = _default_store
+    _default_store = store
+    return previous
+
+
+@contextmanager
+def use_index_store(store: IndexStore | None = None) -> Iterator[IndexStore]:
+    """Scope the process-default store (a fresh in-memory one if ``None``)."""
+    scoped = store if store is not None else IndexStore()
+    previous = set_index_store(scoped)
+    try:
+        yield scoped
+    finally:
+        set_index_store(previous)

@@ -20,6 +20,7 @@ front-ends, one execution core.  See ``docs/ARCHITECTURE.md``.
 from repro.runtime.checkpoint import (
     GraphCheckpoint,
     NodeMemo,
+    atomic_write_bytes,
     atomic_write_text,
     fingerprint,
     node_fingerprints,
@@ -75,6 +76,7 @@ __all__ = [
     "RunEvent",
     "RunResult",
     "SerialExecutor",
+    "atomic_write_bytes",
     "atomic_write_text",
     "chain_graph",
     "fingerprint",

@@ -80,12 +80,13 @@ class NodeMemo:
         return len(self._entries)
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+def atomic_write_bytes(path: str | Path, payload: bytes) -> None:
     """Write via a temp file in the same directory + ``os.replace``.
 
     A crash mid-write leaves the previous file intact instead of a
     truncated one — the property the resume path depends on.
     """
+    path = Path(path)
     handle, tmp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -103,7 +104,7 @@ def _atomic_write_bytes(path: Path, payload: bytes) -> None:
 
 def atomic_write_text(path: str | Path, text: str) -> None:
     """Atomically replace ``path`` with ``text`` (temp file + rename)."""
-    _atomic_write_bytes(Path(path), text.encode("utf-8"))
+    atomic_write_bytes(Path(path), text.encode("utf-8"))
 
 
 class GraphCheckpoint:
@@ -150,7 +151,7 @@ class GraphCheckpoint:
     def save(self, name: str, fp: str, outputs: dict[str, Any]) -> None:
         """Persist a node's declared outputs under its fingerprint."""
         file_name = f"node_{_slug(name)}.pkl"
-        _atomic_write_bytes(
+        atomic_write_bytes(
             self.directory / file_name, pickle.dumps(outputs, protocol=pickle.HIGHEST_PROTOCOL)
         )
         manifest = self._manifest()

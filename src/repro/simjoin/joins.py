@@ -15,15 +15,24 @@ universes) or a merge scan with ppjoin-style early exit (large ones).
 Both joins accept ``n_jobs`` and fan the probe side out over a process
 pool; shards are contiguous and merged in order, so parallel output is
 byte-identical to serial.
+
+All of the build-side intermediates — string records, token sets, the
+``TokenUniverse`` encodings, the prefix-filter postings, verification
+masks, and the edit join's q-gram index — come from the process-default
+:class:`repro.index.IndexStore`, so a join over content the store has
+already seen (a repeated blocker run, another rule over the same
+attribute, a Smurf threshold-sweep iteration) skips straight to the
+probe/verify phase.  Content fingerprints guarantee a mutated table or a
+different tokenizer rebuilds rather than reusing.
 """
 
 from __future__ import annotations
 
 import time
 from bisect import bisect_left, bisect_right
-from collections import Counter
 
 from repro.exceptions import ConfigurationError
+from repro.index.store import get_index_store
 from repro.obs import get_registry
 from repro.perf.kernels import (
     BOUND_EPS,
@@ -34,36 +43,38 @@ from repro.perf.kernels import (
     token_mask,
 )
 from repro.perf.parallel import effective_n_jobs, run_sharded, split_evenly
-from repro.perf.tokens import TokenUniverse
 from repro.simjoin.filters import (
     prefix_length,
     similarity,
     size_bounds,
     validate_measure,
 )
-from repro.table.schema import is_missing
 from repro.table.table import Table
 from repro.text.sim.edit_based import Levenshtein
-from repro.text.tokenizers import QgramTokenizer, Tokenizer
+from repro.text.tokenizers import Tokenizer
 
 _OUTPUT_COLUMNS = ("_id", "l_id", "r_id", "score")
 KERNELS = ("auto", "mask", "merge")
 
 
 def _string_records(table: Table, key: str, column: str) -> list[tuple]:
-    """(key, str value) for each row with a non-missing value."""
-    table.require_columns([key, column])
-    return [
-        (row_key, str(value))
-        for row_key, value in zip(table.column(key), table.column(column))
-        if not is_missing(value)
-    ]
+    """(key, str value) for each row with a non-missing value.
+
+    Served from the index store; the returned list is the shared cached
+    artifact and must not be mutated.
+    """
+    return get_index_store().string_records(table, key, column)
 
 
 def _tokenize_column(table: Table, key: str, column: str, tokenizer: Tokenizer):
-    """Yield (key, token_set); tokenization is memoized per distinct value."""
-    for row_key, value in _string_records(table, key, column):
-        yield row_key, set(tokenizer.tokenize_cached(value))
+    """Yield (key, token_set); token sets come from the index store.
+
+    The sets are the store's shared per-distinct-value artifacts —
+    callers must treat them as read-only.
+    """
+    tokenized = get_index_store().tokenized_column(table, key, column, tokenizer)
+    for row_key, value in tokenized.records:
+        yield row_key, tokenized.token_sets[value]
 
 
 def _observe_join(
@@ -143,56 +154,27 @@ def set_sim_join(
         raise ConfigurationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
 
     join_started = time.perf_counter()
-    left_records = _string_records(ltable, l_key, l_column)
-    right_records = _string_records(rtable, r_key, r_column)
 
-    # Tokenize and encode each distinct string exactly once.
-    token_sets: dict[str, set] = {}
-
-    def tokens_of(value: str) -> set:
-        tokens = token_sets.get(value)
-        if tokens is None:
-            tokens = token_sets[value] = set(tokenizer.tokenize_cached(value))
-        return tokens
-
-    universe = TokenUniverse(
-        tokens_of(value) for _, value in left_records + right_records
+    # Every build-side artifact — tokenization, universe encodings,
+    # prefix postings, verification masks — comes from the index store:
+    # built once per content fingerprint, served to every later call.
+    store = get_index_store()
+    ltable.require_columns([l_key, l_column])
+    rtable.require_columns([r_key, r_column])
+    encoding = store.pair_encoding(
+        store.tokenized_column(ltable, l_key, l_column, tokenizer),
+        store.tokenized_column(rtable, r_key, r_column, tokenizer),
     )
-    encoded: dict[str, tuple] = {}
-
-    def encode(value: str) -> tuple:
-        ids = encoded.get(value)
-        if ids is None:
-            ids = encoded[value] = universe.encode(token_sets[value])
-        return ids
-
-    left_enc = [(row_key, encode(value)) for row_key, value in left_records]
-    right_enc = [(row_key, encode(value)) for row_key, value in right_records]
-
-    # Index the right side: token id -> postings sorted by set size, held
-    # as parallel (sizes, positions) lists so the probe's size filter is a
-    # bisect window and candidate collection is a bulk set.update.
-    postings_by_token: dict[int, list[tuple[int, int]]] = {}
-    for position, (_, tokens) in enumerate(right_enc):
-        size = len(tokens)
-        if not size:
-            continue
-        prefix = (
-            tokens[: prefix_length(measure, threshold, size)]
-            if use_prefix_filter
-            else tokens
-        )
-        for token in prefix:
-            postings_by_token.setdefault(token, []).append((size, position))
-    index: dict[int, tuple[list[int], list[int]]] = {}
-    for token, postings in postings_by_token.items():
-        postings.sort()
-        index[token] = ([s for s, _ in postings], [p for _, p in postings])
+    left_enc, right_enc = encoding.left, encoding.right
+    # Token id -> postings sorted by set size, held as parallel
+    # (sizes, positions) lists so the probe's size filter is a bisect
+    # window and candidate collection is a bulk set.update.
+    index = store.prefix_index(encoding, measure, threshold, use_prefix_filter).index
 
     use_masks = kernel == "mask" or (
-        kernel == "auto" and len(universe) <= MASK_UNIVERSE_MAX
+        kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
     )
-    right_masks = [token_mask(tokens) for _, tokens in right_enc] if use_masks else None
+    right_masks = store.right_masks(encoding) if use_masks else None
     scorer = make_scorer(measure)
     overlap_bound = make_overlap_bound(measure, threshold)
 
@@ -304,31 +286,21 @@ def edit_distance_join(
     if threshold < 0:
         raise ConfigurationError(f"edit-distance threshold must be >= 0, got {threshold}")
     join_started = time.perf_counter()
-    tokenizer = QgramTokenizer(q=q, padding=False)
     levenshtein = Levenshtein()
 
-    # Repeated attribute values (cities, states) share one tokenization
-    # and one gram-count bag.
-    gram_counts_cache: dict[str, Counter] = {}
+    store = get_index_store()
+    left_records = store.string_records(ltable, l_key, l_column)
+    right_records = store.string_records(rtable, r_key, r_column)
 
-    def gram_counts(value: str) -> Counter:
-        counts = gram_counts_cache.get(value)
-        if counts is None:
-            counts = gram_counts_cache[value] = Counter(
-                tokenizer.tokenize_cached(value)
-            )
-        return counts
-
-    left_records = _string_records(ltable, l_key, l_column)
-    right_records = _string_records(rtable, r_key, r_column)
+    # Repeated attribute values (cities, states) share one gram-count
+    # bag; bags and the inverted index below are store artifacts, reused
+    # across calls over the same content.
+    left_bags = store.gram_bags(ltable, l_key, l_column, q)
 
     # The classic count filter bounds the *bag* overlap of q-grams, so the
     # index records per-record gram multiplicities and probing accumulates
     # min(left count, right count) per gram.
-    index: dict[str, list[tuple[int, int]]] = {}
-    for position, (_, value) in enumerate(right_records):
-        for gram, count in gram_counts(value).items():
-            index.setdefault(gram, []).append((position, count))
+    index = store.gram_index(rtable, r_key, r_column, q).index
     # When max(|x|, |y|) <= q - 1 + q*d the count filter requires zero
     # shared q-grams, so short pairs are candidates even with no shared
     # gram and cannot be reached through the inverted index.
@@ -344,7 +316,7 @@ def edit_distance_join(
         n_candidates = 0
         for l_id, left_value in shard:
             counts: dict[int, int] = {}
-            for gram, left_count in gram_counts(left_value).items():
+            for gram, left_count in left_bags[left_value].items():
                 for position, right_count in index.get(gram, ()):
                     counts[position] = counts.get(position, 0) + min(
                         left_count, right_count

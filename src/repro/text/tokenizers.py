@@ -55,6 +55,21 @@ class Tokenizer:
         """Drop the :meth:`tokenize_cached` memo (e.g. between datasets)."""
         self.__dict__.pop("_cache", None)
 
+    def spec(self) -> tuple:
+        """A stable identity for cache keys: class name + config params.
+
+        Two tokenizers with equal specs tokenize identically, so index
+        artifacts built under one can be served to the other.  Private
+        attributes (the memo, compiled patterns) are derived state and
+        stay out; ``delimiters``-style sets are sorted for stability.
+        """
+        params = tuple(
+            (name, sorted(value) if isinstance(value, (set, frozenset)) else value)
+            for name, value in sorted(self.__dict__.items())
+            if not name.startswith("_")
+        )
+        return (type(self).__name__, params)
+
     def __getstate__(self):
         # The memo can be large and is cheap to rebuild, so it stays out
         # of pickles (checkpoints, cross-process transfers).

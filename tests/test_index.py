@@ -1,0 +1,342 @@
+"""Tests for the IndexStore: fingerprints, invalidation, reuse, persistence."""
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import OverlapBlocker, make_candset
+from repro.features import extract_feature_vecs, get_features_for_matching
+from repro.index import (
+    IndexStore,
+    column_fingerprint,
+    combine,
+    get_index_store,
+    set_index_store,
+    tokenizer_fingerprint,
+    use_index_store,
+)
+from repro.obs import use_registry
+from repro.simjoin import edit_distance_join, set_sim_join
+from repro.table import Table
+from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+
+def make_tables(n: int = 60, seed: int = 0) -> tuple[Table, Table]:
+    rng = random.Random(seed)
+    first = ["dave", "dan", "joe", "mary", "ann", "sue"]
+    last = ["smith", "wilson", "jones", "miller"]
+
+    def name() -> str:
+        return f"{rng.choice(first)} {rng.choice(last)}"
+
+    ltable = Table({"id": [f"a{i}" for i in range(n)], "v": [name() for _ in range(n)]})
+    rtable = Table({"id": [f"b{i}" for i in range(n)], "v": [name() for _ in range(n)]})
+    return ltable, rtable
+
+
+def columns_of(table: Table) -> list[list]:
+    return [table.column(name) for name in table.columns]
+
+
+def counter_total(registry, name: str, **labels) -> float:
+    want = tuple(sorted(labels.items()))
+    return sum(
+        value
+        for (metric, label_set), value in registry.counters().items()
+        if metric == name and all(item in label_set for item in want)
+    )
+
+
+def jaccard_join(ltable: Table, rtable: Table, n_jobs: int = 1) -> Table:
+    return set_sim_join(
+        ltable, rtable, "id", "id", "v", "v",
+        WhitespaceTokenizer(return_set=True), "jaccard", 0.4, n_jobs=n_jobs,
+    )
+
+
+class TestFingerprints:
+    def test_content_only_identity(self):
+        # Same content under different column names -> same fingerprint:
+        # this is what lets blockers' projected views hit join artifacts.
+        a = Table({"id": [1, 2], "name": ["x", "y"]})
+        b = Table({"pk": [1, 2], "name_blk": ["x", "y"]})
+        assert column_fingerprint(a, "id", "name") == column_fingerprint(b, "pk", "name_blk")
+
+    def test_value_change_changes_fingerprint(self):
+        a = Table({"id": [1, 2], "v": ["x", "y"]})
+        b = Table({"id": [1, 2], "v": ["x", "z"]})
+        assert column_fingerprint(a, "id", "v") != column_fingerprint(b, "id", "v")
+
+    def test_key_change_changes_fingerprint(self):
+        a = Table({"id": [1, 2], "v": ["x", "y"]})
+        b = Table({"id": [1, 3], "v": ["x", "y"]})
+        assert column_fingerprint(a, "id", "v") != column_fingerprint(b, "id", "v")
+
+    def test_type_sensitive(self):
+        a = Table({"id": [1], "v": ["1"]})
+        b = Table({"id": [1], "v": [1]})
+        assert column_fingerprint(a, "id", "v") != column_fingerprint(b, "id", "v")
+
+    def test_tokenizer_fingerprint_captures_params(self):
+        assert tokenizer_fingerprint(QgramTokenizer(q=2)) != tokenizer_fingerprint(
+            QgramTokenizer(q=3)
+        )
+        assert tokenizer_fingerprint(QgramTokenizer(q=3)) != tokenizer_fingerprint(
+            QgramTokenizer(q=3, return_set=True)
+        )
+        assert tokenizer_fingerprint(WhitespaceTokenizer()) != tokenizer_fingerprint(
+            QgramTokenizer()
+        )
+        # Two instances configured alike are the same artifact key.
+        assert tokenizer_fingerprint(QgramTokenizer(q=3, return_set=True)) == (
+            tokenizer_fingerprint(QgramTokenizer(q=3, return_set=True))
+        )
+
+    def test_combine_is_order_sensitive(self):
+        assert combine("a", "b") != combine("b", "a")
+        assert combine("a", "b") == combine("a", "b")
+
+
+class TestInvalidation:
+    def test_same_content_is_a_reuse(self):
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        store = IndexStore()
+        with use_registry() as registry:
+            first = store.tokenized_column(table, "id", "v", WhitespaceTokenizer())
+            again = store.tokenized_column(table, "id", "v", WhitespaceTokenizer())
+            assert again is first
+            assert counter_total(registry, "index_reuses_total", kind="tokens") == 1
+            assert counter_total(registry, "index_builds_total", kind="tokens") == 1
+
+    def test_mutated_table_rebuilds(self):
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        mutated = Table({"id": [1, 2], "v": ["dave smith", "joe wilsom"]})
+        store = IndexStore()
+        with use_registry() as registry:
+            first = store.tokenized_column(table, "id", "v", WhitespaceTokenizer())
+            second = store.tokenized_column(mutated, "id", "v", WhitespaceTokenizer())
+            assert second is not first
+            assert second.token_sets != first.token_sets
+            assert counter_total(registry, "index_builds_total", kind="tokens") == 2
+            assert counter_total(registry, "index_reuses_total", kind="tokens") == 0
+
+    def test_changed_tokenizer_rebuilds(self):
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        store = IndexStore()
+        with use_registry() as registry:
+            first = store.tokenized_column(table, "id", "v", QgramTokenizer(q=2))
+            second = store.tokenized_column(table, "id", "v", QgramTokenizer(q=3))
+            assert second is not first
+            assert second.token_sets != first.token_sets
+            assert counter_total(registry, "index_builds_total", kind="tokens") == 2
+
+    def test_lru_eviction_bounds_memory(self):
+        store = IndexStore(max_entries=4)
+        for i in range(10):
+            table = Table({"id": [1], "v": [f"value {i}"]})
+            store.string_records(table, "id", "v")
+        assert len(store) == 4
+
+
+class TestWarmColdEquivalence:
+    def test_set_sim_join_warm_and_parallel_identical(self):
+        ltable, rtable = make_tables()
+        with use_index_store():
+            cold = jaccard_join(ltable, rtable)
+            warm = jaccard_join(ltable, rtable)
+            warm_parallel = jaccard_join(ltable, rtable, n_jobs=2)
+        assert cold.num_rows > 0
+        assert columns_of(warm) == columns_of(cold)
+        assert columns_of(warm_parallel) == columns_of(cold)
+
+    def test_edit_distance_join_warm_identical(self):
+        ltable, rtable = make_tables(40)
+        with use_index_store():
+            cold = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=2)
+            warm = edit_distance_join(ltable, rtable, "id", "id", "v", "v", threshold=2)
+            warm_parallel = edit_distance_join(
+                ltable, rtable, "id", "id", "v", "v", threshold=2, n_jobs=2
+            )
+        assert cold.num_rows > 0
+        assert columns_of(warm) == columns_of(cold)
+        assert columns_of(warm_parallel) == columns_of(cold)
+
+    def test_overlap_blocker_warm_identical(self):
+        ltable, rtable = make_tables()
+        blocker = OverlapBlocker("v", overlap_size=1)
+        with use_index_store():
+            cold = blocker.block_tables(ltable, rtable, "id", "id")
+            warm = blocker.block_tables(ltable, rtable, "id", "id")
+            warm_parallel = blocker.block_tables(ltable, rtable, "id", "id", n_jobs=2)
+        assert cold.num_rows > 0
+        assert columns_of(warm) == columns_of(cold)
+        assert columns_of(warm_parallel) == columns_of(cold)
+
+    def test_join_and_blocker_share_record_artifacts(self):
+        # The blocker's projected working view has different column names
+        # but the same content; content fingerprints make it a reuse.
+        ltable, rtable = make_tables()
+        with use_index_store(), use_registry() as registry:
+            jaccard_join(ltable, rtable)
+            OverlapBlocker("v", overlap_size=1).block_tables(ltable, rtable, "id", "id")
+            assert counter_total(registry, "index_reuses_total", kind="tokens") > 0
+
+
+class TestPersistence:
+    def test_round_trip_from_disk(self, tmp_path):
+        ltable, rtable = make_tables()
+        with use_index_store(IndexStore(cache_dir=tmp_path)):
+            cold = jaccard_join(ltable, rtable)
+        # A fresh store on the same directory models a fresh process.
+        with use_registry() as registry:
+            with use_index_store(IndexStore(cache_dir=tmp_path)):
+                warm = jaccard_join(ltable, rtable)
+            assert counter_total(registry, "index_reuses_total", tier="disk") > 0
+            assert counter_total(registry, "index_builds_total") == 0
+        assert columns_of(warm) == columns_of(cold)
+
+    def test_corrupt_cache_file_falls_back_to_rebuild(self, tmp_path):
+        ltable, rtable = make_tables()
+        with use_index_store(IndexStore(cache_dir=tmp_path)):
+            cold = jaccard_join(ltable, rtable)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"\x80\x04 this is not a pickle")
+        with use_registry() as registry:
+            with use_index_store(IndexStore(cache_dir=tmp_path)):
+                warm = jaccard_join(ltable, rtable)
+            assert counter_total(registry, "index_disk_errors_total") > 0
+            assert counter_total(registry, "index_builds_total") > 0
+        assert columns_of(warm) == columns_of(cold)
+
+    def test_truncated_cache_file_falls_back_to_rebuild(self, tmp_path):
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        store = IndexStore(cache_dir=tmp_path)
+        records = store.string_records(table, "id", "v")
+        [path] = tmp_path.glob("records-*.pkl")
+        path.write_bytes(path.read_bytes()[:-5])
+        fresh = IndexStore(cache_dir=tmp_path)
+        with use_registry() as registry:
+            rebuilt = fresh.string_records(table, "id", "v")
+            assert counter_total(registry, "index_disk_errors_total", kind="records") == 1
+        assert rebuilt == records
+        # The rebuild repaired the cache file in place.
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == records
+
+    def test_disk_artifacts_and_clear(self, tmp_path):
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        store = IndexStore(cache_dir=tmp_path)
+        store.tokenized_column(table, "id", "v", WhitespaceTokenizer(return_set=True))
+        rows = store.disk_artifacts()
+        assert {row["kind"] for row in rows} == {"records", "tokens"}
+        assert all(row["bytes"] > 0 for row in rows)
+        store.clear(disk=True)
+        assert len(store) == 0
+        assert store.disk_artifacts() == []
+
+
+class TestDefaultStore:
+    def test_use_index_store_scopes_the_default(self):
+        outer = get_index_store()
+        with use_index_store() as scoped:
+            assert get_index_store() is scoped
+            assert scoped is not outer
+        assert get_index_store() is outer
+
+    def test_env_var_sets_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX_CACHE", str(tmp_path))
+        previous = set_index_store(None)
+        try:
+            assert get_index_store().cache_dir == tmp_path
+        finally:
+            set_index_store(previous)
+
+
+VALUE_POOL = ["dave smith", "dan smith", "joe wilson", "", None, "madison wi"]
+
+
+class TestExtractionDedupProperty:
+    @given(
+        l_choices=st.lists(st.integers(0, len(VALUE_POOL) - 1), min_size=1, max_size=8),
+        r_choices=st.lists(st.integers(0, len(VALUE_POOL) - 1), min_size=1, max_size=8),
+        pair_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_global_dedup_equals_naive(self, l_choices, r_choices, pair_seed):
+        ltable = Table(
+            {
+                "id": [f"a{i}" for i in range(len(l_choices))],
+                "v": [VALUE_POOL[i] for i in l_choices],
+            }
+        )
+        rtable = Table(
+            {
+                "id": [f"b{i}" for i in range(len(r_choices))],
+                "v": [VALUE_POOL[i] for i in r_choices],
+            }
+        )
+        rng = random.Random(pair_seed)
+        pairs = [
+            (l_id, r_id)
+            for l_id in ltable.column("id")
+            for r_id in rtable.column("id")
+            if rng.random() < 0.7
+        ]
+        from repro.catalog import Catalog
+
+        catalog = Catalog()
+        candset = make_candset(pairs, ltable, rtable, "id", "id", catalog=catalog)
+        features = get_features_for_matching(ltable, rtable, "id", "id")
+        fv = extract_feature_vecs(candset, features, catalog=catalog)
+
+        l_index = ltable.index_by("id")
+        r_index = rtable.index_by("id")
+        for feature in features:
+            expected = [
+                feature(l_index[l_id][feature.l_attr], r_index[r_id][feature.r_attr])
+                for l_id, r_id in pairs
+            ]
+            got = fv.column(feature.name)
+            assert len(got) == len(expected)
+            for got_value, expected_value in zip(got, expected):
+                # NaN != NaN, so compare via repr (distinguishes nan/None/floats).
+                assert repr(got_value) == repr(expected_value)
+
+    def test_unhashable_values_fall_back_to_per_occurrence(self):
+        from repro.catalog import Catalog
+        from repro.features import make_blackbox_feature
+
+        ltable = Table({"id": ["a1", "a2"], "v": [["x", "y"], ["x", "y"]]})
+        rtable = Table({"id": ["b1"], "v": [["x"]]})
+        catalog = Catalog()
+        pairs = [("a1", "b1"), ("a2", "b1")]
+        candset = make_candset(pairs, ltable, rtable, "id", "id", catalog=catalog)
+        feature = make_blackbox_feature(
+            "overlap", "v", "v", lambda a, b: float(len(set(a) & set(b)))
+        )
+        from repro.features import FeatureTable
+
+        table = FeatureTable()
+        table.add(feature)
+        fv = extract_feature_vecs(candset, table, catalog=catalog)
+        assert fv.column("overlap") == [1.0, 1.0]
+
+    def test_dedup_counters(self):
+        from repro.catalog import Catalog
+
+        ltable = Table({"id": ["a1", "a2"], "v": ["dave smith", "dave smith"]})
+        rtable = Table({"id": ["b1"], "v": ["dave smith"]})
+        catalog = Catalog()
+        candset = make_candset(
+            [("a1", "b1"), ("a2", "b1")], ltable, rtable, "id", "id", catalog=catalog
+        )
+        features = get_features_for_matching(ltable, rtable, "id", "id")
+        with use_registry() as registry:
+            fv = extract_feature_vecs(candset, features, catalog=catalog)
+            # Both rows carry identical (l_value, r_value) pairs: each
+            # feature evaluates once and the second occurrence is a hit.
+            assert counter_total(registry, "feature_cache_misses_total") == len(features)
+            assert counter_total(registry, "feature_cache_hits_total") == len(features)
+        assert fv.num_rows == 2
