@@ -18,6 +18,7 @@ See ``examples/quickstart.py`` for the end-to-end guide workflow.
 """
 
 from repro.exceptions import (
+    BackpressureError,
     BudgetExhaustedError,
     CatalogError,
     ConfigurationError,
@@ -25,6 +26,7 @@ from repro.exceptions import (
     KeyConstraintError,
     LabelingError,
     NotFittedError,
+    QuotaExceededError,
     ReproError,
     SchemaError,
     ServiceError,
@@ -35,6 +37,7 @@ from repro.table.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackpressureError",
     "BudgetExhaustedError",
     "CatalogError",
     "ConfigurationError",
@@ -42,6 +45,7 @@ __all__ = [
     "KeyConstraintError",
     "LabelingError",
     "NotFittedError",
+    "QuotaExceededError",
     "ReproError",
     "SchemaError",
     "ServiceError",

@@ -19,6 +19,10 @@ Subcommands
     runs pointed at the same cache start warm.
 ``repro index inspect --cache-dir DIR``
     List the persisted index artifacts in a cache directory.
+``repro serve A.csv --key id --column name --threshold 0.4``
+    Resident match server: load the corpus index once, then answer
+    point queries from stdin (or ``--queries FILE``) as JSON lines,
+    with a qps/p50/p99 summary on exit.
 
 The workflow subcommands take ``--index-cache DIR``: the process-default
 :class:`repro.index.IndexStore` then persists every index artifact it
@@ -282,6 +286,79 @@ def cmd_index_inspect(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Resident match server: answer point queries against one corpus.
+
+    Queries come one per line from ``--queries FILE`` or stdin, either
+    ``value`` or ``tenant<TAB>value``; each answer is one JSON line with
+    the ranked ``(corpus key, score)`` candidates.  On EOF a summary
+    line reports served queries, sustained qps, and p50/p99 latency.
+    """
+    import json
+    import time
+
+    from repro.serve import MatchServer, ServeConfig
+    from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+    corpus = read_csv(args.corpus)
+    column = args.column or _first_string_column(corpus, args.key)
+    tokenizer = (
+        QgramTokenizer(q=args.q, return_set=True)
+        if args.tokenizer == "qgram"
+        else WhitespaceTokenizer(return_set=True)
+    )
+    config = ServeConfig(
+        measure=args.measure,
+        threshold=args.threshold,
+        top_k=args.top_k,
+        max_batch=args.max_batch,
+    )
+    server = MatchServer(corpus, args.key, column, tokenizer=tokenizer, config=config)
+    if args.queries:
+        source = open(args.queries, encoding="utf-8")
+    else:
+        source = sys.stdin
+        print(
+            f"serving {corpus.num_rows} rows on {column!r} "
+            f"({args.measure} >= {args.threshold}); one query per line:",
+            file=sys.stderr,
+        )
+    served = 0
+    started = time.perf_counter()
+    try:
+        with server:
+            for line in source:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                tenant, sep, value = line.partition("\t")
+                if not sep:
+                    tenant, value = "default", line
+                result = server.match(value, tenant=tenant)
+                served += 1
+                print(
+                    json.dumps(
+                        {
+                            "query": value,
+                            "tenant": tenant,
+                            "candidates": [[r_id, score] for r_id, score in result.candidates],
+                        }
+                    )
+                )
+            elapsed = time.perf_counter() - started
+            stats = server.stats()
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    qps = served / elapsed if elapsed > 0 else 0.0
+    print(
+        f"served {served} queries in {elapsed:.2f}s ({qps:.0f} qps), "
+        f"p50={stats['latency_p50_s'] * 1000:.2f}ms p99={stats['latency_p99_s'] * 1000:.2f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_schema_match(args) -> int:
     """Propose attribute correspondences between two CSV tables."""
     from repro.schema_matching import match_schemas
@@ -374,6 +451,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = index_sub.add_parser("inspect", help="list persisted index artifacts")
     p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
     p.set_defaults(fn=cmd_index_inspect)
+
+    p = sub.add_parser("serve", help="resident match server over one corpus table")
+    p.add_argument("corpus")
+    p.add_argument("--key", default="id")
+    p.add_argument("--column", default=None, help="corpus column to match against")
+    p.add_argument("--measure", default="jaccard", help="jaccard|cosine|dice|overlap")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument(
+        "--tokenizer", choices=["whitespace", "qgram"], default="whitespace"
+    )
+    p.add_argument("--q", type=int, default=3, help="q-gram size (qgram tokenizer)")
+    p.add_argument("--top-k", type=int, default=10, help="candidates per query")
+    p.add_argument("--max-batch", type=int, default=64, help="micro-batch size cap")
+    p.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="query file, one per line ('tenant<TAB>value' or 'value'); default stdin",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the metrics registry here (JSONL + PATH.prom)",
+    )
+    p.add_argument(
+        "--index-cache", default=None, metavar="DIR",
+        help="persist/reuse index artifacts under DIR across runs",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("schema-match", help="propose attribute correspondences")
     p.add_argument("ltable")

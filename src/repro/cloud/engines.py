@@ -246,11 +246,14 @@ class MetaManager:
 
     def _run_interleaved(self) -> float:
         # Event-driven greedy dispatch. heap entries: (dispatchable_at,
-        # admission order, sequence) to break ties deterministically.
+        # admission order, sequence) to break ties deterministically; the
+        # trailing element records when the fragment became ready so the
+        # dispatcher can report queue wait (the same ready-to-start
+        # latency the serving layer's histograms report in wall time).
         makespan = 0.0
         pending = {id(run): run for run in self.runs}
         sequence = 0
-        heap: list[tuple[float, int, int, "WorkflowRun", Fragment]] = []
+        heap: list[tuple[float, int, int, "WorkflowRun", Fragment, float]] = []
 
         def push_ready(run: "WorkflowRun", order: int, now: float) -> None:
             nonlocal sequence
@@ -260,7 +263,7 @@ class MetaManager:
                     continue
                 engine = self.engine_for(run, fragment.kind)
                 at = max(now, engine.busy_until)
-                heapq.heappush(heap, (at, order, sequence, run, fragment))
+                heapq.heappush(heap, (at, order, sequence, run, fragment, now))
                 sequence += 1
 
         for order, run in enumerate(self.runs):
@@ -269,7 +272,7 @@ class MetaManager:
         order_of = {id(run): i for i, run in enumerate(self.runs)}
         registry = get_registry()
         while heap:
-            at, order, _, run, fragment = heapq.heappop(heap)
+            at, order, _, run, fragment, ready_at = heapq.heappop(heap)
             if fragment.fragment_id in run.completed:
                 continue
             # Queue depth per engine kind at dispatch time: fragments
@@ -283,6 +286,9 @@ class MetaManager:
                 registry.gauge("cloud_queue_depth", engine=kind_value).set(depth)
             engine = self.engine_for(run, fragment.kind)
             record = engine.execute(fragment, run.context, at)
+            registry.histogram(
+                "cloud_queue_wait_seconds", engine=fragment.kind.value
+            ).observe(record.start - ready_at)
             run.complete(fragment.fragment_id)
             makespan = max(makespan, record.end)
             if run.done:

@@ -57,5 +57,17 @@ class ServiceError(ReproError):
     """A CloudMatcher service invocation failed or was misconfigured."""
 
 
+class BackpressureError(ServiceError):
+    """A serving request was rejected because the queue is at capacity.
+
+    Raised at admission, never after queuing: a rejected caller knows
+    immediately that no work was done and can retry with backoff.
+    """
+
+
+class QuotaExceededError(ServiceError):
+    """A serving request was rejected by its tenant's in-flight quota."""
+
+
 class ConfigurationError(ReproError):
     """A tool was configured with invalid parameters."""

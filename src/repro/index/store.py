@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
@@ -128,12 +129,25 @@ class IndexStore:
 
     All artifacts are read-only once built; callers — including forked
     join shards, which inherit them by fork — must not mutate them.
+
+    Thread-safety contract: the memory tier (the LRU ``OrderedDict``) is
+    guarded by an ``RLock``, so concurrent probes — the long-lived
+    :mod:`repro.serve` workers hammer one shared store from many threads
+    — can never corrupt the eviction order or crash in
+    ``move_to_end``/``popitem``.  Artifact *builds* run outside the lock:
+    two threads missing on the same digest may both build it (the results
+    are identical by construction; the second ``_remember`` wins), which
+    trades a little duplicate warm-up work for never serializing builds
+    of unrelated artifacts behind one another.
     """
 
     def __init__(self, cache_dir: str | Path | None = None, max_entries: int = 256):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_entries = max(1, int(max_entries))
         self._memory: OrderedDict[str, Any] = OrderedDict()
+        # RLock: accessor builds nest (`gram_index` -> `gram_bags`,
+        # `tokenized_column` -> `_records`), so a thread can re-enter.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Cache machinery
@@ -142,16 +156,19 @@ class IndexStore:
         return self.cache_dir / f"{kind}-{digest}.pkl"
 
     def _remember(self, digest: str, artifact: Any) -> None:
-        self._memory[digest] = artifact
-        self._memory.move_to_end(digest)
-        while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
+        with self._lock:
+            self._memory[digest] = artifact
+            self._memory.move_to_end(digest)
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
 
     def _get(self, kind: str, digest: str, build, persist: bool = True) -> Any:
         registry = get_registry()
-        artifact = self._memory.get(digest)
+        with self._lock:
+            artifact = self._memory.get(digest)
+            if artifact is not None:
+                self._memory.move_to_end(digest)
         if artifact is not None:
-            self._memory.move_to_end(digest)
             registry.counter("index_reuses_total", kind=kind, tier="memory").inc()
             return artifact
         if persist and self.cache_dir is not None:
@@ -327,11 +344,13 @@ class IndexStore:
     # Introspection and maintenance
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def clear(self, disk: bool = False) -> None:
         """Drop the memory tier (and the disk tier with ``disk=True``)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("*.pkl"):
                 try:

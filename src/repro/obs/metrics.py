@@ -21,6 +21,12 @@ shard results and account them in the parent (the simjoin and
 feature-extraction instrumentation does exactly this) — increments made
 inside a forked worker die with the worker.
 
+Thread model: interning and every update (``inc``/``set``/``observe``)
+are guarded by locks, so concurrent threads — the :mod:`repro.serve`
+workers, or any caller's thread pool — never lose updates or observe a
+half-written histogram.  ``value += amount`` is a read-modify-write; two
+unsynchronized threads interleaving it silently drop increments.
+
 ``get_registry()`` returns the process default; ``use_registry`` swaps in
 a fresh (or given) registry for a ``with`` block, which is how tests and
 the CLI isolate a run's snapshot.
@@ -28,6 +34,7 @@ the CLI isolate a run's snapshot.
 
 from __future__ import annotations
 
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -51,13 +58,15 @@ def _labelset(labels: dict[str, Any]) -> LabelSet:
 
 
 class _Instrument:
-    """State shared by every metric kind: identity and label set."""
+    """State shared by every metric kind: identity, label set, and the
+    lock that makes updates atomic under concurrent threads."""
 
     kind = "abstract"
 
     def __init__(self, name: str, labels: LabelSet):
         self.name = name
         self.labels = labels
+        self._lock = threading.Lock()
 
     @property
     def label_dict(self) -> dict[str, str]:
@@ -84,7 +93,8 @@ class Counter(_Instrument):
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc by {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -103,13 +113,16 @@ class Gauge(_Instrument):
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -148,9 +161,10 @@ class Histogram(_Instrument):
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -163,19 +177,49 @@ class Histogram(_Instrument):
 
     def cumulative(self) -> list[tuple[float, int]]:
         """Prometheus-style ``(le, cumulative_count)`` pairs, ending at +Inf."""
+        with self._lock:
+            counts, total = list(self.bucket_counts), self.count
         out, running = [], 0
-        for boundary, n in zip(self.buckets, self.bucket_counts):
+        for boundary, n in zip(self.buckets, counts):
             running += n
             out.append((boundary, running))
-        out.append((float("inf"), self.count))
+        out.append((float("inf"), total))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0 < q <= 1) from the bucket counts.
+
+        Prometheus-style linear interpolation within the bucket that
+        contains the target rank (the first bucket interpolates from 0);
+        observations above the last boundary clamp to that boundary.
+        Returns 0.0 when nothing has been observed.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            counts, total = list(self.bucket_counts), self.count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0
+        for i, n in enumerate(counts[:-1]):
+            previous = running
+            running += n
+            if running >= rank:
+                hi = self.buckets[i]
+                lo = self.buckets[i - 1] if i else 0.0
+                return lo + (hi - lo) * ((rank - previous) / n)
+        # Target rank falls in the overflow bucket: no upper boundary to
+        # interpolate toward, so report the last finite boundary.
+        return self.buckets[-1]
+
     def to_dict(self) -> dict[str, Any]:
-        return {
-            "name": self.name, "kind": self.kind, "labels": self.label_dict,
-            "sum": self.sum, "count": self.count,
-            "buckets": list(self.buckets), "bucket_counts": list(self.bucket_counts),
-        }
+        with self._lock:
+            return {
+                "name": self.name, "kind": self.kind, "labels": self.label_dict,
+                "sum": self.sum, "count": self.count,
+                "buckets": list(self.buckets), "bucket_counts": list(self.bucket_counts),
+            }
 
 
 class MetricsRegistry:
@@ -190,19 +234,24 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, LabelSet], _Instrument] = {}
         self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
 
     # -- get-or-create -------------------------------------------------
     def _intern(self, cls, name: str, labels: dict, **kwargs) -> _Instrument:
         key = (name, _labelset(labels))
-        bound = self._kinds.setdefault(name, cls.kind)
-        if bound != cls.kind:
-            raise ConfigurationError(
-                f"metric {name!r} is registered as a {bound}, "
-                f"cannot be used as a {cls.kind}"
-            )
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = self._instruments[key] = cls(name, key[1], **kwargs)
+        # Interning must be atomic: two threads racing the get/create for
+        # one key would each hold a different instrument, and increments
+        # on the loser would vanish from every later lookup and export.
+        with self._lock:
+            bound = self._kinds.setdefault(name, cls.kind)
+            if bound != cls.kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is registered as a {bound}, "
+                    f"cannot be used as a {cls.kind}"
+                )
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._instruments[key] = cls(name, key[1], **kwargs)
         return instrument
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -225,11 +274,14 @@ class MetricsRegistry:
     # -- introspection -------------------------------------------------
     def instruments(self) -> list[_Instrument]:
         """Every instrument, sorted by (name, labels) for stable export."""
-        return [self._instruments[key] for key in sorted(self._instruments)]
+        with self._lock:
+            keys = sorted(self._instruments)
+            return [self._instruments[key] for key in keys]
 
     def get(self, name: str, **labels: Any) -> _Instrument | None:
         """The instrument for (name, labels), or None if never created."""
-        return self._instruments.get((name, _labelset(labels)))
+        with self._lock:
+            return self._instruments.get((name, _labelset(labels)))
 
     def snapshot(self) -> list[dict[str, Any]]:
         """A JSON-ready list of every instrument's current state."""
@@ -237,9 +289,11 @@ class MetricsRegistry:
 
     def counters(self) -> dict[tuple[str, LabelSet], float]:
         """Flat ``(name, labels) -> value`` view of every counter."""
+        with self._lock:
+            items = sorted(self._instruments.items())
         return {
             key: instrument.value
-            for key, instrument in sorted(self._instruments.items())
+            for key, instrument in items
             if instrument.kind == "counter"
         }
 

@@ -20,6 +20,7 @@ JSONL next to the metrics snapshots.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -60,27 +61,50 @@ class Span:
 class Tracer:
     """Collects finished spans; hands out nested span ids.
 
-    Nesting state is a plain stack: the runtime executes operators on one
-    thread, and forked workers never share a tracer (each child process
-    gets a copy that dies with it), so no locking is needed.
+    Thread model: span-id allocation is atomic (a lock around the
+    counter) and the nesting stack is *thread-local*, so concurrent
+    threads — e.g. the :mod:`repro.serve` workers — each nest their own
+    spans without colliding ids or corrupting each other's parentage.
+    Forked workers never share a tracer (each child process gets a copy
+    that dies with it).
     """
 
     def __init__(self) -> None:
         self.spans: list[Span] = []  # finished, in completion order
-        self._stack: list[int] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 1
+
+    def _stack(self) -> list[int]:
+        """This thread's open-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def allocate_span_id(self) -> int:
+        """Hand out the next span id; safe to call from any thread."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def current_parent_id(self) -> int | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
 
     @contextmanager
     def span(self, name: str, **labels: Any) -> Iterator[Span]:
         span = Span(
             name=name,
-            span_id=self._next_id,
-            parent_id=self._stack[-1] if self._stack else None,
+            span_id=self.allocate_span_id(),
+            parent_id=self.current_parent_id(),
             labels={str(k): str(v) for k, v in labels.items()},
             start=time.time(),
         )
-        self._next_id += 1
-        self._stack.append(span.span_id)
+        stack = self._stack()
+        stack.append(span.span_id)
         started = time.perf_counter()
         try:
             yield span
@@ -89,15 +113,18 @@ class Tracer:
             raise
         finally:
             span.seconds = time.perf_counter() - started
-            self._stack.pop()
-            self.spans.append(span)
+            stack.pop()
+            with self._lock:
+                self.spans.append(span)
 
     def write_jsonl(self, path: str | Path) -> Path:
         """Export finished spans as one JSON object per line."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = list(self.spans)
         with path.open("w", encoding="utf-8") as handle:
-            for span in self.spans:
+            for span in spans:
                 handle.write(json.dumps(span.to_dict(), sort_keys=True))
                 handle.write("\n")
         return path
@@ -159,15 +186,18 @@ def event_span_sink(tracer: Tracer | None = None) -> Callable[[RunEvent], None]:
         if event.node is None:
             return
         key = (event.graph, event.node)
+        # `event.at or time.time()` would silently replace a legitimate
+        # 0.0 (epoch) timestamp with wall-clock now; only None means
+        # "unset".  Span ids come from the tracer's atomic allocator so
+        # sink calls from serving threads never collide with trace_span.
         if event.event == ev.NODE_START:
             span = Span(
                 name=f"{event.graph}/{event.node}",
-                span_id=target._next_id,
-                parent_id=target._stack[-1] if target._stack else None,
+                span_id=target.allocate_span_id(),
+                parent_id=target.current_parent_id(),
                 labels={"graph": event.graph, "node": event.node},
-                start=event.at or time.time(),
+                start=event.at if event.at is not None else time.time(),
             )
-            target._next_id += 1
             open_spans[key] = span
         elif event.event in (ev.NODE_FINISH, ev.NODE_FAIL):
             span = open_spans.pop(key, None)
@@ -176,18 +206,18 @@ def event_span_sink(tracer: Tracer | None = None) -> Callable[[RunEvent], None]:
             span.seconds = event.wall_seconds
             if event.error is not None:
                 span.error = event.error
-            target.spans.append(span)
+            with target._lock:
+                target.spans.append(span)
         elif event.event == ev.CACHE_HIT:
-            target.spans.append(
-                Span(
-                    name=f"{event.graph}/{event.node}",
-                    span_id=target._next_id,
-                    parent_id=target._stack[-1] if target._stack else None,
-                    labels={"graph": event.graph, "node": event.node, "cached": "true"},
-                    start=event.at or time.time(),
-                    seconds=event.wall_seconds,
-                )
+            span = Span(
+                name=f"{event.graph}/{event.node}",
+                span_id=target.allocate_span_id(),
+                parent_id=target.current_parent_id(),
+                labels={"graph": event.graph, "node": event.node, "cached": "true"},
+                start=event.at if event.at is not None else time.time(),
+                seconds=event.wall_seconds,
             )
-            target._next_id += 1
+            with target._lock:
+                target.spans.append(span)
 
     return sink

@@ -58,6 +58,18 @@ class TokenUniverse:
         ids = self._ids
         return tuple(sorted({ids[token] for token in tokens}))
 
+    def encode_known(self, tokens: Iterable[str]) -> tuple[int, ...]:
+        """Like :meth:`encode`, but silently drops unknown tokens.
+
+        The online serving path encodes ad-hoc queries against a corpus
+        universe built before the query existed; out-of-vocabulary tokens
+        can never overlap a corpus record, so dropping them from the
+        probe is lossless — callers must still score with the query's
+        *true* token count (see ``probe_encoded``'s ``left_size``).
+        """
+        ids = self._ids
+        return tuple(sorted({ids[token] for token in tokens if token in ids}))
+
     # ------------------------------------------------------------------
     # String-level ordering API (TokenOrder compatibility)
     # ------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""repro.serve — the online match-serving layer.
+
+The paper's production agenda ("how to match many tables, for many
+users, at scale") as a resident service: a :class:`MatchServer` loads
+the :class:`repro.index.IndexStore` artifact chain for a corpus once at
+startup and answers ``match(entity) -> ranked candidates`` point
+queries for the life of the process.  Concurrent requests coalesce
+through a micro-batching queue onto the same columnar filter-verify
+kernel the batch joins run (:func:`repro.simjoin.probe_encoded`), with
+per-tenant in-flight quotas, queue-depth backpressure, and p50/p99
+latency histograms from :mod:`repro.obs`.
+
+See ``benchmarks/bench_serving.py`` for the sustained-qps benchmark and
+the ``repro serve`` CLI subcommand for the stdin/file query loop.
+"""
+
+from repro.serve.server import (
+    MatchResult,
+    MatchServer,
+    PendingMatch,
+    ServeConfig,
+)
+
+__all__ = [
+    "MatchResult",
+    "MatchServer",
+    "PendingMatch",
+    "ServeConfig",
+]

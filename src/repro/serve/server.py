@@ -1,0 +1,465 @@
+"""The resident match server: point queries against an indexed corpus.
+
+A :class:`MatchServer` is the online half of the batch substrate.  At
+startup it loads the :class:`repro.index.IndexStore` artifact chain for
+one corpus column — records → token sets → a corpus
+:class:`~repro.perf.tokens.TokenUniverse` → prefix postings and
+verification masks — exactly once, then answers ``match(entity)`` point
+queries for as long as the process lives.  Queries are tokenized,
+encoded against the corpus universe (out-of-vocabulary tokens are
+dropped losslessly; see :meth:`TokenUniverse.encode_known`), and probed
+through :func:`repro.simjoin.probe_encoded` — the same filter-verify
+kernel the batch join runs — so a served result is byte-identical to the
+matching rows of ``set_sim_join(queries, corpus, ...)``.
+
+Request flow, modeled on the cloud metamanager's engine/queue scheduler
+(:mod:`repro.cloud.engines`) translated from simulated to wall-clock
+time:
+
+* **admission** — a request is rejected *before* queuing when the queue
+  is at ``max_queue_depth`` (:class:`BackpressureError`) or its tenant
+  is at its in-flight quota (:class:`QuotaExceededError`); rejections
+  are counted in ``serve_rejections_total{reason,tenant}``;
+* **micro-batching** — worker threads drain the queue in batches of up
+  to ``max_batch``, optionally lingering ``batch_linger_s`` so
+  concurrent callers coalesce onto one pass over the shared index;
+* **observability** — ``serve_request_seconds`` (queue wait + service)
+  and ``serve_batch_size`` histograms, the ``serve_queue_depth`` gauge,
+  and per-tenant request/rejection counters, all on the process
+  registry, with p50/p99 summaries via :meth:`Histogram.quantile` in
+  :meth:`MatchServer.stats`.
+
+The server's shared state is only safe because of the thread-safety
+contracts underneath it: the IndexStore's locked memory tier, the
+registry's atomic counters, and the tracer's atomic span ids.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import (
+    BackpressureError,
+    ConfigurationError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.index.store import IndexStore, get_index_store
+from repro.obs import get_registry, trace_span
+from repro.perf.kernels import MASK_UNIVERSE_MAX, make_overlap_bound, make_scorer
+from repro.simjoin.filters import validate_measure
+from repro.simjoin.joins import KERNELS, probe_encoded
+from repro.table.schema import is_missing
+from repro.table.table import Table
+from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for a :class:`MatchServer`.
+
+    ``workers=0`` starts no threads: requests queue on :meth:`submit`
+    and are served synchronously by :meth:`MatchServer.process_pending`
+    — the deterministic mode used by tests and single-threaded
+    embeddings.  ``tenant_quotas`` maps tenant name to its max in-flight
+    requests; tenants not listed get ``default_tenant_quota`` (``None``
+    means unlimited).
+    """
+
+    measure: str = "jaccard"
+    threshold: float = 0.7
+    kernel: str = "auto"
+    top_k: int | None = 10
+    max_batch: int = 64
+    batch_linger_s: float = 0.0005
+    max_queue_depth: int = 256
+    default_tenant_quota: int | None = 64
+    tenant_quotas: dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+
+    def quota(self, tenant: str) -> int | None:
+        return self.tenant_quotas.get(tenant, self.default_tenant_quota)
+
+
+@dataclass
+class MatchResult:
+    """Ranked candidates for one served query.
+
+    ``candidates`` holds ``(corpus key, score)`` pairs ranked by
+    descending score, ties broken by corpus position — the scores are
+    bit-identical to the batch join's.  ``seconds`` is the request's
+    full latency (queue wait + service); ``batch_size`` is how many
+    requests shared its micro-batch.
+    """
+
+    query: Any
+    tenant: str
+    candidates: list[tuple[Any, float]]
+    n_candidates: int = 0
+    seconds: float = 0.0
+    batch_size: int = 1
+
+
+class _Request:
+    __slots__ = ("value", "tenant", "top_k", "enqueued", "done", "result", "error")
+
+    def __init__(self, value: Any, tenant: str, top_k: int | None):
+        self.value = value
+        self.tenant = tenant
+        self.top_k = top_k
+        self.enqueued = time.perf_counter()
+        self.done = threading.Event()
+        self.result: MatchResult | None = None
+        self.error: BaseException | None = None
+
+
+class PendingMatch:
+    """Future-like handle for a submitted query."""
+
+    def __init__(self, request: _Request):
+        self._request = request
+
+    def result(self, timeout: float | None = None) -> MatchResult:
+        """Block until the request is served; raises what the server raised."""
+        if not self._request.done.wait(timeout):
+            raise TimeoutError(
+                f"match request for {self._request.value!r} not served in {timeout}s"
+            )
+        if self._request.error is not None:
+            raise self._request.error
+        return self._request.result
+
+
+class MatchServer:
+    """Long-lived ``match(entity) -> ranked candidates`` service.
+
+    Usage::
+
+        server = MatchServer(corpus, key="id", column="name",
+                             config=ServeConfig(threshold=0.4))
+        with server:                      # start() .. stop()
+            result = server.match("dave smith", tenant="alice")
+            for r_id, score in result.candidates:
+                ...
+
+    One server serves one ``(corpus, column, tokenizer, measure,
+    threshold)`` configuration; run several servers over one shared
+    :class:`IndexStore` to multiplex corpora — artifacts dedupe by
+    content fingerprint.
+    """
+
+    def __init__(
+        self,
+        corpus: Table,
+        key: str,
+        column: str,
+        tokenizer: Tokenizer | None = None,
+        config: ServeConfig | None = None,
+        store: IndexStore | None = None,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        measure = validate_measure(self.config.measure)
+        threshold = self.config.threshold
+        if measure != "overlap" and not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold for {measure} must be in (0, 1], got {threshold}"
+            )
+        if measure == "overlap" and threshold < 1:
+            raise ConfigurationError(f"overlap threshold must be >= 1, got {threshold}")
+        if self.config.kernel not in KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNELS}, got {self.config.kernel!r}"
+            )
+        corpus.require_columns([key, column])
+        self.corpus = corpus
+        self.key = key
+        self.column = column
+        self.tokenizer = (
+            tokenizer if tokenizer is not None else WhitespaceTokenizer(return_set=True)
+        )
+        self._measure = measure
+        self._store = store if store is not None else get_index_store()
+        self._scorer = make_scorer(measure)
+        self._overlap_bound = make_overlap_bound(measure, threshold)
+
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: deque[_Request] = deque()
+        self._inflight: dict[str, int] = {}
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._stopping = False
+        self._universe = None
+        self._right_enc = None
+        self._index = None
+        self._right_masks = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MatchServer":
+        """Load the corpus index artifacts and start the worker threads."""
+        if self._running:
+            raise ServiceError("MatchServer is already running")
+        registry = get_registry()
+        with trace_span("serve_warmup", column=self.column, measure=self._measure):
+            with registry.timer("serve_warmup_seconds"):
+                self._load_artifacts()
+        self._stopping = False
+        self._running = True
+        for i in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"match-serve-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _load_artifacts(self) -> None:
+        """Build or reuse the IndexStore artifact chain for the corpus.
+
+        The corpus is self-paired: ``pair_encoding(tc, tc)`` doubles
+        every token frequency, which preserves the frequency-then-lexical
+        ranking, so the universe orders tokens exactly as a corpus-only
+        count would — and a batch self-join over the same corpus shares
+        these artifacts byte-for-byte.
+        """
+        store = self._store
+        tc = store.tokenized_column(self.corpus, self.key, self.column, self.tokenizer)
+        encoding = store.pair_encoding(tc, tc)
+        self._universe = encoding.universe
+        self._right_enc = encoding.right
+        self._index = store.prefix_index(
+            encoding, self._measure, self.config.threshold
+        ).index
+        use_masks = self.config.kernel == "mask" or (
+            self.config.kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
+        )
+        self._right_masks = store.right_masks(encoding) if use_masks else None
+
+    def stop(self) -> None:
+        """Drain the queue, stop the workers, and refuse new requests."""
+        with self._lock:
+            if not self._running:
+                return
+            self._stopping = True
+            self._not_empty.notify_all()
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        if self.config.workers == 0:
+            self.process_pending()
+        with self._lock:
+            self._running = False
+            # Anything still queued (stop raced an admission) fails fast
+            # rather than hanging its caller forever.
+            while self._queue:
+                request = self._queue.popleft()
+                request.error = ServiceError("MatchServer stopped before serving")
+                request.done.set()
+
+    def __enter__(self) -> "MatchServer":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, value: Any, tenant: str = "default", top_k: int | None = None
+    ) -> PendingMatch:
+        """Admit one query; returns a handle to wait on.
+
+        Raises :class:`BackpressureError` (queue full) or
+        :class:`QuotaExceededError` (tenant at its in-flight quota)
+        *before* queuing — a rejected request did no work.
+        """
+        registry = get_registry()
+        request = _Request(value, tenant, top_k if top_k is not None else self.config.top_k)
+        with self._lock:
+            if not self._running or self._stopping:
+                raise ServiceError("MatchServer is not running")
+            if len(self._queue) >= self.config.max_queue_depth:
+                registry.counter(
+                    "serve_rejections_total", reason="backpressure", tenant=tenant
+                ).inc()
+                raise BackpressureError(
+                    f"serving queue at capacity ({self.config.max_queue_depth})"
+                )
+            quota = self.config.quota(tenant)
+            inflight = self._inflight.get(tenant, 0)
+            if quota is not None and inflight >= quota:
+                registry.counter(
+                    "serve_rejections_total", reason="quota", tenant=tenant
+                ).inc()
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} at its in-flight quota ({quota})"
+                )
+            self._inflight[tenant] = inflight + 1
+            self._queue.append(request)
+            registry.gauge("serve_queue_depth").set(len(self._queue))
+            self._not_empty.notify()
+        return PendingMatch(request)
+
+    def match(
+        self,
+        value: Any,
+        tenant: str = "default",
+        top_k: int | None = None,
+        timeout: float | None = None,
+    ) -> MatchResult:
+        """Submit one query and block until its ranked candidates arrive."""
+        return self.submit(value, tenant, top_k).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Batch workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._process_batch(batch)
+
+    def _take_batch(self) -> list[_Request] | None:
+        config = self.config
+        with self._not_empty:
+            while not self._queue and not self._stopping:
+                self._not_empty.wait()
+            if not self._queue:
+                return None  # stopping and drained
+            if (
+                config.batch_linger_s > 0
+                and len(self._queue) < config.max_batch
+                and not self._stopping
+            ):
+                # Linger briefly so a burst of concurrent callers lands
+                # in one batch instead of one batch per request.
+                self._not_empty.wait(config.batch_linger_s)
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(len(self._queue), config.max_batch))
+            ]
+            get_registry().gauge("serve_queue_depth").set(len(self._queue))
+        return batch
+
+    def process_pending(self) -> int:
+        """Serve everything queued right now on the calling thread.
+
+        The synchronous drain used with ``workers=0``; returns the
+        number of requests served.
+        """
+        with self._lock:
+            batch = list(self._queue)
+            self._queue.clear()
+            get_registry().gauge("serve_queue_depth").set(0)
+        served = 0
+        while batch:
+            self._process_batch(batch[: self.config.max_batch])
+            served += len(batch[: self.config.max_batch])
+            batch = batch[self.config.max_batch :]
+        return served
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        registry = get_registry()
+        registry.histogram("serve_batch_size", buckets=(1, 2, 4, 8, 16, 32, 64, 128)).observe(
+            len(batch)
+        )
+        registry.counter("serve_batches_total").inc()
+        with trace_span("serve_batch", size=len(batch)):
+            for request in batch:
+                try:
+                    candidates, n_candidates = self._match_one(request.value, request.top_k)
+                    request.result = MatchResult(
+                        query=request.value,
+                        tenant=request.tenant,
+                        candidates=candidates,
+                        n_candidates=n_candidates,
+                        seconds=time.perf_counter() - request.enqueued,
+                        batch_size=len(batch),
+                    )
+                except BaseException as exc:
+                    request.error = exc
+                finally:
+                    registry.histogram("serve_request_seconds").observe(
+                        time.perf_counter() - request.enqueued
+                    )
+                    registry.counter("serve_requests_total", tenant=request.tenant).inc()
+                    with self._lock:
+                        self._inflight[request.tenant] -= 1
+                    request.done.set()
+
+    def _match_one(
+        self, value: Any, top_k: int | None
+    ) -> tuple[list[tuple[Any, float]], int]:
+        """One point query through the shared filter-verify kernel."""
+        if is_missing(value):
+            return [], 0
+        token_set = set(self.tokenizer.tokenize_cached(str(value)))
+        left_ids = self._universe.encode_known(token_set)
+        matches, n_candidates = probe_encoded(
+            left_ids,
+            len(token_set),
+            self._index,
+            self._right_enc,
+            self._right_masks,
+            self._scorer,
+            self._overlap_bound,
+            self._measure,
+            self.config.threshold,
+        )
+        get_registry().counter("serve_candidates_total").inc(n_candidates)
+        # probe_encoded emits survivors in corpus-position order; a
+        # stable sort on descending score keeps that order among ties,
+        # so the ranking is fully deterministic.
+        ranked = sorted(matches, key=lambda pair: -pair[1])
+        if top_k is not None:
+            ranked = ranked[:top_k]
+        return ranked, n_candidates
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time serving stats: depth, totals, p50/p99 latency."""
+        registry = get_registry()
+        latency = registry.histogram("serve_request_seconds")
+        with self._lock:
+            queue_depth = len(self._queue)
+            inflight = {t: n for t, n in self._inflight.items() if n}
+        rejections = sum(
+            value
+            for (name, _), value in registry.counters().items()
+            if name == "serve_rejections_total"
+        )
+        requests = sum(
+            value
+            for (name, _), value in registry.counters().items()
+            if name == "serve_requests_total"
+        )
+        return {
+            "running": self._running,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "corpus_rows": len(self._right_enc) if self._right_enc is not None else 0,
+            "universe_size": len(self._universe) if self._universe is not None else 0,
+            "requests_total": requests,
+            "rejections_total": rejections,
+            "latency_p50_s": latency.quantile(0.5),
+            "latency_p99_s": latency.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return (
+            f"<MatchServer {state} column={self.column!r} "
+            f"measure={self._measure} threshold={self.config.threshold}>"
+        )

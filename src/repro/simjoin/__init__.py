@@ -11,6 +11,7 @@ from repro.simjoin.filters import (
 from repro.simjoin.joins import (
     edit_distance_join,
     naive_set_sim_join,
+    probe_encoded,
     set_sim_join,
 )
 
@@ -21,6 +22,7 @@ __all__ = [
     "naive_set_sim_join",
     "overlap_lower_bound",
     "prefix_length",
+    "probe_encoded",
     "set_sim_join",
     "similarity",
     "size_bounds",

@@ -103,6 +103,76 @@ def _observe_join(
     reg.histogram("simjoin_seconds", **labels).observe(seconds)
 
 
+def probe_encoded(
+    left_ids,
+    left_size: int,
+    index: dict,
+    right_enc: list,
+    right_masks: list | None,
+    scorer,
+    overlap_bound,
+    measure: str,
+    threshold: float,
+    use_prefix_filter: bool = True,
+) -> tuple[list[tuple], int]:
+    """Filter-verify one encoded probe record against a prefix index.
+
+    The single-record core of :func:`set_sim_join`, shared with the
+    online serving path (:mod:`repro.serve`), which probes one query at a
+    time against a resident corpus index — sharing the code is what makes
+    served results byte-identical to the batch join.
+
+    ``left_ids`` is the record's sorted token ids; ``left_size`` is its
+    *true* distinct-token count, which can exceed ``len(left_ids)`` when
+    a serving query holds tokens outside the corpus universe (those
+    tokens can never overlap the corpus, so dropping them from the probe
+    is lossless while the size still enters every bound and score).
+    Verification uses the bitmask kernel when ``right_masks`` is given,
+    the bounded merge scan otherwise.  Returns the ``(r_id, score)``
+    survivors in right-position order plus the candidate count.
+    """
+    if not left_size:
+        return [], 0
+    lower, upper = size_bounds(measure, threshold, left_size)
+    # The float upper bound can round epsilon low; admit the edge.
+    upper += BOUND_EPS
+    probe = (
+        left_ids[: prefix_length(measure, threshold, left_size)]
+        if use_prefix_filter
+        else left_ids
+    )
+    candidates: set[int] = set()
+    collect = candidates.update
+    for token in probe:
+        entry = index.get(token)
+        if entry is None:
+            continue
+        sizes, positions = entry
+        collect(positions[bisect_left(sizes, lower) : bisect_right(sizes, upper)])
+    if not candidates:
+        return [], 0
+    results: list[tuple] = []
+    if right_masks is not None:
+        left_mask = token_mask(left_ids)
+        for position in sorted(candidates):
+            r_id, right = right_enc[position]
+            overlap = (left_mask & right_masks[position]).bit_count()
+            score = scorer(overlap, left_size, len(right))
+            if score >= threshold:
+                results.append((r_id, score))
+    else:
+        for position in sorted(candidates):
+            r_id, right = right_enc[position]
+            needed = overlap_bound(left_size, len(right))
+            overlap = bounded_overlap(left_ids, right, needed)
+            if overlap < needed:
+                continue
+            score = scorer(overlap, left_size, len(right))
+            if score >= threshold:
+                results.append((r_id, score))
+    return results, len(candidates)
+
+
 def _result_table(rows: list[tuple]) -> Table:
     table = Table.from_rows(
         (
@@ -182,46 +252,14 @@ def set_sim_join(
         results: list[tuple] = []
         n_candidates = 0
         for l_id, left in shard:
-            left_size = len(left)
-            if not left_size:
-                continue
-            lower, upper = size_bounds(measure, threshold, left_size)
-            # The float upper bound can round epsilon low; admit the edge.
-            upper += BOUND_EPS
-            probe = (
-                left[: prefix_length(measure, threshold, left_size)]
-                if use_prefix_filter
-                else left
+            matches, count = probe_encoded(
+                left, len(left), index, right_enc,
+                right_masks if use_masks else None,
+                scorer, overlap_bound, measure, threshold, use_prefix_filter,
             )
-            candidates: set[int] = set()
-            collect = candidates.update
-            for token in probe:
-                entry = index.get(token)
-                if entry is None:
-                    continue
-                sizes, positions = entry
-                collect(positions[bisect_left(sizes, lower) : bisect_right(sizes, upper)])
-            if not candidates:
-                continue
-            n_candidates += len(candidates)
-            if use_masks:
-                left_mask = token_mask(left)
-                for position in sorted(candidates):
-                    r_id, right = right_enc[position]
-                    overlap = (left_mask & right_masks[position]).bit_count()
-                    score = scorer(overlap, left_size, len(right))
-                    if score >= threshold:
-                        results.append((l_id, r_id, score))
-            else:
-                for position in sorted(candidates):
-                    r_id, right = right_enc[position]
-                    needed = overlap_bound(left_size, len(right))
-                    overlap = bounded_overlap(left, right, needed)
-                    if overlap < needed:
-                        continue
-                    score = scorer(overlap, left_size, len(right))
-                    if score >= threshold:
-                        results.append((l_id, r_id, score))
+            n_candidates += count
+            for r_id, score in matches:
+                results.append((l_id, r_id, score))
         return results, n_candidates
 
     shards = split_evenly(left_enc, effective_n_jobs(n_jobs))

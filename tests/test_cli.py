@@ -181,3 +181,44 @@ class TestSchemaMatchCli:
         write_csv(ltable, l_path)
         write_csv(rtable, r_path)
         assert main(["schema-match", str(l_path), str(r_path)]) == 1
+
+
+class TestServe:
+    def test_serve_answers_query_file(self, tmp_path, capsys):
+        import json
+
+        corpus = Table(
+            {
+                "id": ["b1", "b2", "b3"],
+                "name": ["dave smith", "dave smith jr", "ann chen"],
+            }
+        )
+        corpus_path = tmp_path / "corpus.csv"
+        write_csv(corpus, corpus_path)
+        queries_path = tmp_path / "queries.txt"
+        queries_path.write_text("dave smith\nalice\tann chen\n", encoding="utf-8")
+        metrics_path = tmp_path / "serve-metrics.jsonl"
+        code = main([
+            "serve", str(corpus_path), "--column", "name",
+            "--threshold", "0.4", "--queries", str(queries_path),
+            "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        out_lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        answers = [json.loads(line) for line in out_lines]
+        assert len(answers) == 2
+        first = answers[0]
+        assert first["query"] == "dave smith"
+        assert [c[0] for c in first["candidates"]][0] == "b1"
+        assert answers[1]["tenant"] == "alice"
+        assert [c[0] for c in answers[1]["candidates"]] == ["b3"]
+        assert metrics_path.exists()
+        names = {
+            json.loads(line)["name"]
+            for line in metrics_path.read_text().splitlines()
+        }
+        assert "serve_requests_total" in names
+        assert "serve_request_seconds" in names

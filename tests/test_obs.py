@@ -309,3 +309,148 @@ class TestTracing:
         path = tracer.write_jsonl(tmp_path / "spans.jsonl")
         rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert rows[0]["name"] == "only"
+
+    def test_event_span_sink_preserves_zero_timestamp(self):
+        # A legitimate at == 0.0 (epoch) must not be replaced by
+        # wall-clock now; only None means "unset".
+        from repro.runtime.events import CACHE_HIT, NODE_FINISH, NODE_START, RunEvent
+
+        tracer = Tracer()
+        sink = event_span_sink(tracer)
+        sink(RunEvent(NODE_START, "g", node="n", at=0.0))
+        sink(RunEvent(NODE_FINISH, "g", node="n", at=0.5, wall_seconds=0.5))
+        sink(RunEvent(CACHE_HIT, "g", node="m", at=0.0, wall_seconds=0.0))
+        assert [span.start for span in tracer.spans] == [0.0, 0.0]
+
+    def test_event_span_sink_fills_missing_timestamp(self):
+        from repro.runtime.events import NODE_FINISH, NODE_START, RunEvent
+
+        tracer = Tracer()
+        sink = event_span_sink(tracer)
+        event = RunEvent(NODE_START, "g", node="n")
+        event.at = None
+        sink(event)
+        sink(RunEvent(NODE_FINISH, "g", node="n", at=1.0))
+        assert tracer.spans[0].start > 0.0
+
+
+class TestThreadSafety:
+    """Regression tests for the serving-driven concurrency contracts."""
+
+    N_THREADS = 8
+    N_OPS = 5000
+
+    def _run_threads(self, target) -> None:
+        import threading
+
+        threads = [
+            threading.Thread(target=target, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_inc_exact_under_contention(self):
+        # value += amount is a read-modify-write; without the instrument
+        # lock, interleaved threads silently drop increments.
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+
+        def hammer(_: int) -> None:
+            for _ in range(self.N_OPS):
+                counter.inc()
+
+        self._run_threads(hammer)
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_interning_through_registry_under_contention(self):
+        # Hammering through the intern path too: the (name, labels)
+        # lookup must always land on the same instrument object.
+        registry = MetricsRegistry()
+
+        def hammer(_: int) -> None:
+            for _ in range(1000):
+                registry.counter("requests_total", tenant="t").inc()
+
+        self._run_threads(hammer)
+        assert registry.counter("requests_total", tenant="t").value == self.N_THREADS * 1000
+        assert len(registry) == 1
+
+    def test_histogram_observe_exact_under_contention(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(1.0, 2.0))
+
+        def hammer(i: int) -> None:
+            for _ in range(1000):
+                histogram.observe(0.5)
+
+        self._run_threads(hammer)
+        assert histogram.count == self.N_THREADS * 1000
+        assert histogram.bucket_counts[0] == self.N_THREADS * 1000
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def hammer(i: int) -> None:
+            for _ in range(500):
+                with tracer.span("work", thread=i):
+                    pass
+
+        self._run_threads(hammer)
+        ids = [span.span_id for span in tracer.spans]
+        assert len(ids) == self.N_THREADS * 500
+        assert len(set(ids)) == len(ids), "span ids collided across threads"
+
+    def test_span_nesting_is_per_thread(self):
+        # Each thread's stack is thread-local: a thread's spans parent
+        # onto its own enclosing span, never another thread's.
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+
+        def nest(i: int) -> None:
+            with tracer.span("outer", thread=i):
+                barrier.wait()
+                with tracer.span("inner", thread=i):
+                    pass
+
+        threads = [threading.Thread(target=nest, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                assert parent.labels["thread"] == span.labels["thread"]
+
+
+class TestHistogramQuantile:
+    def test_quantiles_interpolate_within_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("q", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+
+    def test_overflow_clamps_to_last_boundary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("q", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("q").quantile(0.5) == 0.0
+
+    def test_invalid_q_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("q").quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("q").quantile(1.5)

@@ -1,0 +1,300 @@
+"""Tests for repro.serve: the resident match server.
+
+The load-bearing assertion is batch/online equivalence: every query
+served by a :class:`MatchServer` — serially or from many concurrent
+threads across tenants — returns candidates byte-identical (same ids,
+same float scores, same order) to the corresponding rows of the batch
+``set_sim_join`` over the same corpus.  The rest covers the scheduler:
+micro-batching, per-tenant quotas, queue-depth backpressure, and the
+metrics the server reports.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.exceptions import (
+    BackpressureError,
+    ConfigurationError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.index import IndexStore, use_index_store
+from repro.obs import use_registry
+from repro.serve import MatchServer, ServeConfig
+from repro.simjoin import set_sim_join
+from repro.table import Table
+from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+
+
+def make_corpus(n: int = 200, seed: int = 0) -> Table:
+    rng = random.Random(seed)
+    first = ["dave", "dan", "joe", "mary", "ann", "sue", "zed", "kim"]
+    last = ["smith", "wilson", "jones", "miller", "chen"]
+    return Table(
+        {
+            "id": [f"b{i}" for i in range(n)],
+            "v": [f"{rng.choice(first)} {rng.choice(last)}" for _ in range(n)],
+        }
+    )
+
+
+def make_queries(n: int = 40, seed: int = 1) -> list[str]:
+    rng = random.Random(seed)
+    first = ["dave", "dan", "joe", "mary", "ann", "sue", "zed", "kim"]
+    last = ["smith", "wilson", "jones", "miller", "chen"]
+    queries = [f"{rng.choice(first)} {rng.choice(last)}" for _ in range(n)]
+    queries += ["outofvocab tokens only", "", "dave"]
+    return queries
+
+
+def batch_reference(
+    corpus: Table, queries: list[str], tokenizer, measure: str, threshold: float
+) -> list[list[tuple]]:
+    """Per-query ranked candidates derived from the batch join path."""
+    query_table = Table(
+        {"id": [f"q{i}" for i in range(len(queries))], "v": list(queries)}
+    )
+    joined = set_sim_join(
+        query_table, corpus, "id", "id", "v", "v", tokenizer, measure, threshold
+    )
+    by_query: dict[str, list[tuple]] = {}
+    for l_id, r_id, score in zip(
+        joined.column("l_id"), joined.column("r_id"), joined.column("score")
+    ):
+        by_query.setdefault(l_id, []).append((r_id, score))
+    # The join emits candidates in corpus-position order per query; the
+    # server ranks by descending score with position-order ties — derive
+    # the same ranking with a stable sort.
+    return [
+        sorted(by_query.get(f"q{i}", []), key=lambda pair: -pair[1])
+        for i in range(len(queries))
+    ]
+
+
+class TestServedEqualsBatch:
+    @pytest.mark.parametrize(
+        "tokenizer,measure,threshold",
+        [
+            (WhitespaceTokenizer(return_set=True), "jaccard", 0.4),
+            (QgramTokenizer(q=3, return_set=True), "cosine", 0.6),
+            (WhitespaceTokenizer(return_set=True), "overlap", 1),
+        ],
+    )
+    def test_serial_queries_byte_identical(self, tokenizer, measure, threshold):
+        corpus = make_corpus()
+        queries = make_queries()
+        with use_index_store():
+            server = MatchServer(
+                corpus, "id", "v", tokenizer=tokenizer,
+                config=ServeConfig(measure=measure, threshold=threshold, top_k=None),
+            )
+            with server:
+                served = [server.match(q).candidates for q in queries]
+            expected = batch_reference(corpus, queries, tokenizer, measure, threshold)
+        assert served == expected
+
+    def test_merge_kernel_matches_mask_kernel(self):
+        corpus = make_corpus()
+        queries = make_queries(20)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        results = {}
+        for kernel in ("mask", "merge"):
+            with use_index_store():
+                config = ServeConfig(threshold=0.4, kernel=kernel, top_k=None)
+                with MatchServer(corpus, "id", "v", tokenizer=tokenizer, config=config) as s:
+                    results[kernel] = [s.match(q).candidates for q in queries]
+        assert results["mask"] == results["merge"]
+
+    def test_top_k_truncates_ranking(self):
+        corpus = make_corpus()
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        with use_index_store():
+            config = ServeConfig(threshold=0.2, top_k=3)
+            with MatchServer(corpus, "id", "v", tokenizer=tokenizer, config=config) as s:
+                full = s.match("dave smith", top_k=10 ** 6).candidates
+                top = s.match("dave smith").candidates
+        assert top == full[:3]
+        assert all(a[1] >= b[1] for a, b in zip(full, full[1:]))
+
+    def test_concurrent_two_tenants_byte_identical(self):
+        corpus = make_corpus(300)
+        queries = make_queries(60)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        with use_registry() as registry, use_index_store():
+            expected = batch_reference(corpus, queries, tokenizer, "jaccard", 0.4)
+            config = ServeConfig(
+                threshold=0.4, top_k=None, workers=2, max_batch=8,
+                batch_linger_s=0.001, default_tenant_quota=None,
+            )
+            server = MatchServer(corpus, "id", "v", tokenizer=tokenizer, config=config)
+            with server:
+                def ask(item):
+                    i, query = item
+                    tenant = "alice" if i % 2 else "bob"
+                    return server.match(query, tenant=tenant, timeout=30)
+
+                with ThreadPoolExecutor(max_workers=16) as pool:
+                    results = list(pool.map(ask, enumerate(queries)))
+            assert [r.candidates for r in results] == expected
+            served = sum(
+                value
+                for (name, _), value in registry.counters().items()
+                if name == "serve_requests_total"
+            )
+            assert served == len(queries)
+            assert registry.histogram("serve_request_seconds").count == len(queries)
+            # Micro-batching actually coalesced at least some requests.
+            assert registry.histogram("serve_batch_size").count <= len(queries)
+            assert registry.gauge("serve_queue_depth").value == 0
+
+
+class TestScheduler:
+    def test_quota_rejection_is_deterministic_and_counted(self):
+        corpus = make_corpus(50)
+        with use_registry() as registry, use_index_store():
+            config = ServeConfig(
+                threshold=0.4, workers=0, tenant_quotas={"alice": 1},
+                default_tenant_quota=2,
+            )
+            server = MatchServer(corpus, "id", "v", config=config).start()
+            first = server.submit("dave smith", tenant="alice")
+            with pytest.raises(QuotaExceededError):
+                server.submit("ann chen", tenant="alice")
+            # Another tenant is not throttled by alice's quota.
+            other = server.submit("ann chen", tenant="bob")
+            server.process_pending()
+            assert first.result(1).candidates is not None
+            assert other.result(1).candidates is not None
+            rejected = registry.get(
+                "serve_rejections_total", reason="quota", tenant="alice"
+            )
+            assert rejected is not None and rejected.value == 1
+            server.stop()
+
+    def test_backpressure_rejection_is_deterministic_and_counted(self):
+        corpus = make_corpus(50)
+        with use_registry() as registry, use_index_store():
+            config = ServeConfig(
+                threshold=0.4, workers=0, max_queue_depth=2,
+                default_tenant_quota=None,
+            )
+            server = MatchServer(corpus, "id", "v", config=config).start()
+            pending = [server.submit(f"dave smith {i}") for i in range(2)]
+            with pytest.raises(BackpressureError):
+                server.submit("one too many")
+            assert server.process_pending() == 2
+            for handle in pending:
+                handle.result(1)
+            rejected = registry.get(
+                "serve_rejections_total", reason="backpressure", tenant="default"
+            )
+            assert rejected is not None and rejected.value == 1
+            server.stop()
+
+    def test_quota_released_after_completion(self):
+        corpus = make_corpus(50)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4, workers=0, default_tenant_quota=1)
+            server = MatchServer(corpus, "id", "v", config=config).start()
+            first = server.submit("dave smith")
+            server.process_pending()
+            first.result(1)
+            # The slot freed by completion admits the next request.
+            second = server.submit("ann chen")
+            server.process_pending()
+            second.result(1)
+            server.stop()
+
+    def test_match_after_stop_raises(self):
+        corpus = make_corpus(20)
+        with use_registry(), use_index_store():
+            server = MatchServer(
+                corpus, "id", "v", config=ServeConfig(threshold=0.4)
+            ).start()
+            server.stop()
+            with pytest.raises(ServiceError):
+                server.match("dave smith")
+
+    def test_match_before_start_raises(self):
+        with use_registry(), use_index_store():
+            server = MatchServer(
+                make_corpus(20), "id", "v", config=ServeConfig(threshold=0.4)
+            )
+            with pytest.raises(ServiceError):
+                server.match("dave smith")
+
+    def test_invalid_config_rejected_at_construction(self):
+        corpus = make_corpus(10)
+        with pytest.raises(ConfigurationError):
+            MatchServer(corpus, "id", "v", config=ServeConfig(threshold=1.5))
+        with pytest.raises(ConfigurationError):
+            MatchServer(corpus, "id", "v", config=ServeConfig(measure="nope"))
+        with pytest.raises(ConfigurationError):
+            MatchServer(corpus, "id", "v", config=ServeConfig(kernel="simd"))
+
+    def test_stats_reports_latency_quantiles(self):
+        corpus = make_corpus(50)
+        with use_registry(), use_index_store():
+            server = MatchServer(
+                corpus, "id", "v", config=ServeConfig(threshold=0.4)
+            )
+            with server:
+                for _ in range(5):
+                    server.match("dave smith")
+                stats = server.stats()
+            assert stats["requests_total"] == 5
+            assert stats["corpus_rows"] == 50
+            assert 0 <= stats["latency_p50_s"] <= stats["latency_p99_s"]
+
+
+class TestWarmStart:
+    def test_two_servers_share_store_artifacts(self):
+        corpus = make_corpus(100)
+        with use_registry() as registry, use_index_store(IndexStore()) as store:
+            with MatchServer(
+                corpus, "id", "v", store=store, config=ServeConfig(threshold=0.4)
+            ) as first:
+                first.match("dave smith")
+            reuses_before = sum(
+                value
+                for (name, _), value in registry.counters().items()
+                if name == "index_reuses_total"
+            )
+            with MatchServer(
+                corpus, "id", "v", store=store, config=ServeConfig(threshold=0.4)
+            ) as second:
+                second.match("dave smith")
+            reuses_after = sum(
+                value
+                for (name, _), value in registry.counters().items()
+                if name == "index_reuses_total"
+            )
+        assert reuses_after > reuses_before
+
+    def test_server_shares_artifacts_with_batch_self_join(self):
+        corpus = make_corpus(100)
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        with use_registry() as registry, use_index_store():
+            set_sim_join(
+                corpus, corpus, "id", "id", "v", "v", tokenizer, "jaccard", 0.4
+            )
+            builds_before = sum(
+                value
+                for (name, _), value in registry.counters().items()
+                if name == "index_builds_total"
+            )
+            with MatchServer(
+                corpus, "id", "v", tokenizer=tokenizer,
+                config=ServeConfig(threshold=0.4),
+            ) as server:
+                server.match("dave smith")
+            builds_after = sum(
+                value
+                for (name, _), value in registry.counters().items()
+                if name == "index_builds_total"
+            )
+        # Warmup found every artifact (records/tokens/encoding/prefix/
+        # masks) already in the store: the batch join built them.
+        assert builds_after == builds_before
