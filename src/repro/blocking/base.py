@@ -104,7 +104,19 @@ class Blocker:
     ``n_jobs`` fans the scan over the left table out on a process pool;
     shards are contiguous and merged in order, so parallel output is
     byte-identical to serial.
+
+    ``commutative`` declares whether :meth:`block_candset` is a *pair-local
+    filter*: it keeps an order-preserving subset of its input decided per
+    pair, independent of which other pairs are present.  Pair-local
+    filters compose as set intersection, so a chain of them produces the
+    same candidate set in any order — the property the
+    :mod:`repro.plan` optimizer relies on to reorder blocker chains
+    most-selective-first.  Blockers whose decision depends on the whole
+    table (sorted-neighborhood windows, canopies) must override this to
+    ``False`` and are never reordered.
     """
+
+    commutative = True
 
     def block_tuples(self, l_row: Row, r_row: Row) -> bool:
         """Return ``True`` when the pair should be *dropped* (blocked)."""
@@ -180,3 +192,35 @@ class Blocker:
             result, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
         )
         return result
+
+    def as_filter_operator(
+        self,
+        name: str | None = None,
+        deps: tuple[str, ...] = (),
+        slot: str = "candset",
+        n_jobs: int = 1,
+        description: str = "",
+    ):
+        """Compile this blocker into a runtime candidate-set-filter operator.
+
+        The operator reads the candidate set from ``store[slot]``, applies
+        :meth:`block_candset`, and writes the filtered set back to the
+        same slot.  When the blocker declares itself :attr:`commutative`,
+        the operator carries the ``candset-filter:<slot>`` commutativity
+        group, which lets the :mod:`repro.plan` optimizer reorder a chain
+        of such filters most-selective-first; non-commutative blockers
+        compile to plain (never reordered) operators.
+        """
+        from repro.runtime.graph import Operator
+
+        def apply_filter(store) -> None:
+            store[slot] = self.block_candset(store[slot], n_jobs=n_jobs)
+
+        return Operator(
+            name=name or f"filter_{type(self).__name__}",
+            fn=apply_filter,
+            deps=tuple(deps),
+            outputs=(slot,),
+            description=description or f"filter {slot!r} with {type(self).__name__}",
+            commutes=f"candset-filter:{slot}" if self.commutative else "",
+        )

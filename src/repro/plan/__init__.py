@@ -1,0 +1,69 @@
+"""repro.plan — cost-based plan optimization for the operator DAG.
+
+The runtime (PR 3) executes whatever graph a workflow compiled; the obs
+layer (PR 4) measures every node; the index layer (PR 5) persists
+artifacts across runs.  This package closes the loop — the paper's
+"efficient by design" principle (Section 4.1) as an optimizer pass:
+
+* :mod:`~repro.plan.stats` — per-node runtime statistics (wall seconds,
+  input/output rows, cache hits) folded out of the RunEvent stream and
+  persisted alongside the IndexStore artifacts, keyed by reorder-stable
+  identity fingerprints;
+* :mod:`~repro.plan.optimizer` — :func:`plan_graph` reorders commuting
+  blocker chains most-selective-first, picks per-node inline-vs-fork
+  execution, and marks memo-warm nodes at plan time;
+* :mod:`~repro.plan.executor` — :class:`PlanExecutor` drives the planned
+  schedule; :func:`run_planned` is the drop-in optimizing ``run_graph``
+  used by the front-ends' ``optimize=True`` paths;
+* :mod:`~repro.plan.pipelines` — plannable graph builders (the
+  multi-blocker pipeline behind ``repro plan explain`` and the planner
+  benchmark).
+
+Correctness contract: optimized and unoptimized runs of the same graph
+produce byte-identical artifact stores, and with no recorded statistics
+the planner is an explicit no-op.  See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.plan.executor import PlanExecutor, execute_plan, run_planned
+from repro.plan.optimizer import (
+    FORK_THRESHOLD_SECONDS,
+    MODE_FORK,
+    MODE_INLINE,
+    NodePlan,
+    Plan,
+    plan_graph,
+)
+from repro.plan.pipelines import multi_blocker_graph
+from repro.plan.stats import (
+    STATS_FILE_NAME,
+    NodeStats,
+    StatsStore,
+    default_stats_path,
+    get_stats_store,
+    identity_fingerprint,
+    identity_fingerprints,
+    set_stats_store,
+    use_stats_store,
+)
+
+__all__ = [
+    "FORK_THRESHOLD_SECONDS",
+    "MODE_FORK",
+    "MODE_INLINE",
+    "NodePlan",
+    "NodeStats",
+    "Plan",
+    "PlanExecutor",
+    "STATS_FILE_NAME",
+    "StatsStore",
+    "default_stats_path",
+    "execute_plan",
+    "get_stats_store",
+    "identity_fingerprint",
+    "identity_fingerprints",
+    "multi_blocker_graph",
+    "plan_graph",
+    "run_planned",
+    "set_stats_store",
+    "use_stats_store",
+]

@@ -1,0 +1,76 @@
+"""Plannable pipeline builders shared by the CLI, benchmarks, and tests.
+
+A planner needs graphs whose structure it can exploit; this module
+compiles the guide's canonical blocking pattern — one index-backed base
+blocker followed by a chain of refining filters — into an
+:class:`repro.runtime.OperatorGraph` whose filter chain carries the
+candidate-set-filter commutativity group.  The optimizer can then put
+whichever filter history shows most selective at the front of the chain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.blocking.base import Blocker
+from repro.runtime import OperatorGraph
+from repro.table.table import Table
+
+
+def multi_blocker_graph(
+    name: str,
+    ltable: Table,
+    rtable: Table,
+    base_blocker: Blocker,
+    filters: Sequence[tuple[str, Blocker]],
+    l_key: str = "id",
+    r_key: str = "id",
+    key_salt: str = "",
+) -> OperatorGraph:
+    """Compile ``base blocker -> filter chain`` into a runtime graph.
+
+    ``filters`` are ``(node name, blocker)`` pairs applied in the given
+    order via :meth:`Blocker.block_candset`; commutative blockers join
+    the reorderable filter chain, a non-commutative one still chains but
+    pins its position.  ``key_salt`` feeds every node's fingerprint key,
+    so different datasets never share memo entries or statistics.
+    """
+    graph = OperatorGraph(name)
+
+    def run_base(store) -> None:
+        store["candset"] = base_blocker.block_tables(
+            store["ltable"], store["rtable"], l_key, r_key
+        )
+
+    graph.add(
+        "load",
+        lambda store, lt=ltable, rt=rtable: {"ltable": lt, "rtable": rt},
+        outputs=("ltable", "rtable"),
+        description="stage the input tables",
+        checkpoint=False,
+        key=key_salt,
+    )
+    graph.add(
+        "block_base",
+        run_base,
+        deps=("load",),
+        outputs=("candset",),
+        description=f"base blocking with {type(base_blocker).__name__}",
+        checkpoint=False,
+        key=key_salt,
+    )
+    previous = "block_base"
+    for filter_name, blocker in filters:
+        operator = blocker.as_filter_operator(name=filter_name, deps=(previous,))
+        graph.add(
+            operator.name,
+            operator.fn,
+            deps=operator.deps,
+            outputs=operator.outputs,
+            description=operator.description,
+            checkpoint=False,
+            key=key_salt,
+            commutes=operator.commutes,
+        )
+        previous = filter_name
+    return graph

@@ -1,0 +1,271 @@
+"""Fingerprint-keyed runtime statistics persisted across runs.
+
+The optimizer's cost model is *observed*, not guessed: every graph run
+streams :class:`repro.runtime.RunEvent` records carrying wall seconds,
+input/output row counts, and cache hits per node, and this module folds
+them into a :class:`StatsStore` keyed by each node's **identity
+fingerprint** — a hash of ``(graph name, node name, key salt)`` that,
+unlike the structural memo fingerprint, does not include dependency
+fingerprints.  That distinction is deliberate: reordering a commuting
+chain changes every member's *memo* fingerprint (its deps changed), but
+the node is still the same work over the same inputs for costing
+purposes, so its history must survive the reorder.
+
+The store persists as one JSON file, by default alongside the
+:class:`repro.index.IndexStore` disk artifacts (``<cache_dir>/
+plan-stats.json``, or the ``REPRO_PLAN_STATS`` environment variable),
+written atomically like every other artifact in the repo.  No cache
+directory configured means stats live for the process only — the planner
+then warms up within a session but starts cold next time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.runtime import (
+    CACHE_HIT,
+    NODE_FINISH,
+    OperatorGraph,
+    RunResult,
+    atomic_write_text,
+    fingerprint,
+)
+
+STATS_FILE_NAME = "plan-stats.json"
+_STATS_VERSION = 1
+
+
+def identity_fingerprint(graph_name: str, node_name: str, key: str = "") -> str:
+    """Position-independent node identity: stable under chain reorders."""
+    return fingerprint("plan-identity", graph_name, node_name, key)
+
+
+def identity_fingerprints(graph: OperatorGraph) -> dict[str, str]:
+    """Identity fingerprint of every node in ``graph``."""
+    return {
+        name: identity_fingerprint(graph.name, name, op.key)
+        for name, op in graph.nodes.items()
+    }
+
+
+@dataclass
+class NodeStats:
+    """Accumulated observations of one node identity across runs."""
+
+    graph: str = ""
+    node: str = ""
+    runs: int = 0
+    wall_seconds: float = 0.0
+    rows_in: int = 0
+    rows_out: int = 0
+    cache_hits: int = 0
+
+    # -- derived estimates ---------------------------------------------
+    def mean_seconds(self) -> float:
+        """Mean wall seconds per real (non-cached) execution."""
+        return self.wall_seconds / self.runs if self.runs else 0.0
+
+    def selectivity(self) -> float | None:
+        """Observed output/input row ratio; ``None`` without row evidence.
+
+        A filter that keeps 10% of its input has selectivity 0.1 — lower
+        means more selective, and the optimizer orders commuting chains
+        ascending by this value.
+        """
+        if self.rows_in <= 0:
+            return None
+        return self.rows_out / self.rows_in
+
+    def rows_per_second(self) -> float | None:
+        if self.wall_seconds <= 0 or self.rows_in <= 0:
+            return None
+        return self.rows_in / self.wall_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "graph": self.graph,
+            "node": self.node,
+            "runs": self.runs,
+            "wall_seconds": self.wall_seconds,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "cache_hits": self.cache_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "NodeStats":
+        return cls(
+            graph=str(payload.get("graph", "")),
+            node=str(payload.get("node", "")),
+            runs=int(payload.get("runs", 0)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            rows_in=int(payload.get("rows_in", 0)),
+            rows_out=int(payload.get("rows_out", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+        )
+
+
+@dataclass
+class StatsStore:
+    """Per-node runtime statistics with optional disk persistence.
+
+    ``path`` is the JSON file the store loads from on creation and writes
+    back (atomically) on :meth:`save`; ``None`` keeps everything
+    in-memory.  A corrupt or truncated file is treated as empty and
+    overwritten on the next save, never trusted — the same contract as
+    the index disk tier.
+    """
+
+    path: Path | None = None
+    _nodes: dict[str, NodeStats] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            self.path = Path(self.path)
+            self._load()
+
+    # -- persistence ---------------------------------------------------
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+            nodes = payload["nodes"]
+            self._nodes = {
+                fp: NodeStats.from_dict(entry) for fp, entry in nodes.items()
+            }
+        except (ValueError, KeyError, TypeError, OSError):
+            self._nodes = {}
+
+    def save(self) -> Path | None:
+        """Persist to ``path`` (no-op for in-memory stores)."""
+        if self.path is None:
+            return None
+        with self._lock:
+            payload = {
+                "version": _STATS_VERSION,
+                "nodes": {fp: stats.to_dict() for fp, stats in self._nodes.items()},
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(payload, indent=2, sort_keys=True))
+        return self.path
+
+    def clear(self, disk: bool = False) -> None:
+        """Forget all statistics (and delete the file with ``disk=True``)."""
+        with self._lock:
+            self._nodes = {}
+        if disk and self.path is not None and self.path.exists():
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    # -- accounting ----------------------------------------------------
+    def get(self, fp: str) -> NodeStats | None:
+        return self._nodes.get(fp)
+
+    def record_result(self, graph: OperatorGraph, result: RunResult) -> int:
+        """Fold one run's node events into the store; returns nodes touched.
+
+        Only this graph's events are read off the (possibly shared)
+        stream, and only per-node finish/cache-hit records contribute —
+        failures carry no cost evidence worth generalizing.
+        """
+        identities = identity_fingerprints(graph)
+        touched = 0
+        with self._lock:
+            for event in result.events.of(NODE_FINISH, CACHE_HIT):
+                if event.graph != graph.name or event.node not in identities:
+                    continue
+                fp = identities[event.node]
+                stats = self._nodes.get(fp)
+                if stats is None:
+                    stats = self._nodes[fp] = NodeStats(graph=graph.name, node=event.node)
+                if event.event == CACHE_HIT:
+                    stats.cache_hits += 1
+                else:
+                    stats.runs += 1
+                    stats.wall_seconds += event.wall_seconds
+                    stats.rows_in += event.rows_in
+                    stats.rows_out += event.rows_out
+                touched += 1
+        return touched
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, fp: str) -> bool:
+        return fp in self._nodes
+
+    def items(self) -> list[tuple[str, NodeStats]]:
+        with self._lock:
+            return list(self._nodes.items())
+
+
+# ----------------------------------------------------------------------
+# Process-default store, mirroring repro.index.get_index_store: resolved
+# lazily, persisted next to the index artifacts when those persist.
+
+_default_store: StatsStore | None = None
+_default_lock = threading.Lock()
+
+
+def default_stats_path() -> Path | None:
+    """Where the process-default store persists, or ``None`` (memory only).
+
+    Resolution order: ``REPRO_PLAN_STATS`` (explicit file path), then the
+    process index store's ``cache_dir`` (stats ride alongside the index
+    artifacts they describe runs over).
+    """
+    explicit = os.environ.get("REPRO_PLAN_STATS")
+    if explicit:
+        return Path(explicit)
+    from repro.index import get_index_store
+
+    cache_dir = get_index_store().cache_dir
+    if cache_dir is not None:
+        return Path(cache_dir) / STATS_FILE_NAME
+    return None
+
+
+def get_stats_store() -> StatsStore:
+    """The process-default stats store (created lazily)."""
+    global _default_store
+    with _default_lock:
+        if _default_store is None:
+            _default_store = StatsStore(path=default_stats_path())
+        return _default_store
+
+
+def set_stats_store(store: StatsStore | None) -> StatsStore | None:
+    """Replace the process default; returns the previous one."""
+    global _default_store
+    with _default_lock:
+        previous = _default_store
+        _default_store = store
+        return previous
+
+
+def use_stats_store(store: StatsStore | None = None) -> "_StatsStoreContext":
+    """Context manager installing ``store`` (default: fresh in-memory)."""
+    return _StatsStoreContext(store if store is not None else StatsStore())
+
+
+class _StatsStoreContext:
+    def __init__(self, store: StatsStore):
+        self.store = store
+        self._previous: StatsStore | None = None
+
+    def __enter__(self) -> StatsStore:
+        self._previous = set_stats_store(self.store)
+        return self.store
+
+    def __exit__(self, *exc_info: Any) -> None:
+        set_stats_store(self._previous)

@@ -44,6 +44,7 @@ from repro.runtime.executor import (
     ParallelExecutor,
     RunResult,
     SerialExecutor,
+    count_rows,
     run_graph,
 )
 from repro.runtime.graph import (
@@ -79,6 +80,7 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "chain_graph",
+    "count_rows",
     "fingerprint",
     "node_fingerprints",
     "read_jsonl",

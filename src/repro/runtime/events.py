@@ -54,6 +54,8 @@ class RunEvent:
     sim_seconds: float = 0.0  # simulated human/crowd seconds, if any
     sim_at: float = 0.0  # simulated-clock position (cloud scheduling)
     cached: bool = False
+    rows_in: int = 0  # sized rows across the node's dep output slots
+    rows_out: int = 0  # sized rows across the node's declared output slots
     error: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -67,6 +69,8 @@ class RunEvent:
             "sim_seconds": self.sim_seconds,
             "sim_at": self.sim_at,
             "cached": self.cached,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
         }
         if self.error is not None:
             payload["error"] = self.error

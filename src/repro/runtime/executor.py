@@ -34,6 +34,23 @@ from repro.runtime.events import EventStream, RunEvent
 from repro.runtime.graph import ArtifactStore, NodeRecord, Operator, OperatorGraph
 
 
+def count_rows(value: Any) -> int:
+    """Best-effort row count of an artifact: tables and sized containers.
+
+    Strings are deliberately *not* counted (a path or message is one
+    artifact, not ``len(str)`` rows); anything without a row notion is 0.
+    """
+    num_rows = getattr(value, "num_rows", None)
+    if isinstance(num_rows, int):
+        return num_rows
+    if isinstance(value, (str, bytes)):
+        return 0
+    try:
+        return len(value)
+    except TypeError:
+        return 0
+
+
 @dataclass
 class RunResult:
     """Outcome of one graph execution."""
@@ -88,6 +105,10 @@ class _RunState:
             key=self._position.__getitem__,
         )
         self._done: set[str] = set()
+        # rows_in must be sized *before* a node runs: filter-style
+        # operators overwrite the very slot they read, so measuring after
+        # the fact would always see selectivity 1.0.
+        self._rows_in: dict[str, int] = {}
         self.first_error: BaseException | None = None
         self.halted = False
 
@@ -170,6 +191,7 @@ class _RunState:
             # Fault-injection/testing hook: an exception here simulates a
             # crash *between* nodes — nothing is recorded, it propagates.
             self.before_node(name)
+        self._rows_in[name] = self._slot_rows(self._dep_output_slots(operator))
         self.events.emit(RunEvent(ev.NODE_START, self.graph.name, name, sim_at=self.sim_at))
         outcome = _attempt(operator, self.store)
         for _ in range(outcome.attempts - 1):
@@ -195,6 +217,8 @@ class _RunState:
                     ev.NODE_FINISH, self.graph.name, name,
                     wall_seconds=outcome.seconds, sim_seconds=outcome.sim_seconds,
                     sim_at=self.sim_at,
+                    rows_in=self._rows_in.pop(name, 0),
+                    rows_out=self._slot_rows(operator.outputs),
                 )
             )
             self.records[name] = NodeRecord(
@@ -233,6 +257,21 @@ class _RunState:
                 f"but did not write them"
             )
         return {slot: self.store[slot] for slot in operator.outputs}
+
+    def _dep_output_slots(self, operator: Operator) -> tuple[str, ...]:
+        slots: list[str] = []
+        for dep in operator.deps:
+            slots.extend(self.graph.nodes[dep].outputs)
+        return tuple(slots)
+
+    def _slot_rows(self, slots: tuple[str, ...]) -> int:
+        """Total sized rows across store slots (0 for unsized artifacts).
+
+        Row counts feed the :mod:`repro.plan` selectivity estimates, so
+        they are measured on whatever the operators actually exchange:
+        tables by ``num_rows``, sized containers by ``len``, scalars as 0.
+        """
+        return sum(count_rows(self.store.get(slot)) for slot in slots)
 
 
 @dataclass
@@ -302,15 +341,23 @@ class ParallelExecutor:
             raise ConfigurationError("n_jobs must be a non-zero int (got 0)")
         self.n_jobs = n_jobs
 
+    def should_fork(self, state: "_RunState", name: str) -> bool:
+        """Per-node executor selection: fork this node, or run in-parent?
+
+        The base policy forks everything fork-safe.  The cost-based
+        :class:`repro.plan.PlanExecutor` overrides this to keep
+        measured-cheap nodes in-parent, where the fork round-trip would
+        cost more than the node itself.
+        """
+        operator = state.graph.nodes[name]
+        return operator.isolated and bool(operator.outputs)
+
     def drive(self, state: _RunState) -> None:
         while state.pending and not state.halted:
             wave = [n for n in state.ready_nodes() if not state.try_cache(n)]
             if not wave:
                 continue  # the whole wave was cache hits
-            forked = [
-                n for n in wave
-                if state.graph.nodes[n].isolated and state.graph.nodes[n].outputs
-            ]
+            forked = [n for n in wave if self.should_fork(state, n)]
             for name in wave:
                 if name not in forked:
                     state.execute_in_parent(name)
@@ -322,6 +369,9 @@ class ParallelExecutor:
                 for name in forked:
                     state.before_node(name)
             for name in forked:
+                state._rows_in[name] = state._slot_rows(
+                    state._dep_output_slots(state.graph.nodes[name])
+                )
                 state.events.emit(
                     RunEvent(ev.NODE_START, state.graph.name, name, sim_at=state.sim_at)
                 )

@@ -44,6 +44,15 @@ class Operator:
     checkpointable (``checkpoint=True`` and non-empty ``outputs``) or
     fork-safe (``isolated=True`` and non-empty ``outputs``) only when its
     effects are fully captured by those slots.
+
+    ``commutes`` is a commutativity-group label: a *linear chain* of
+    operators that all carry the same non-empty label declares that any
+    ordering of the chain produces byte-identical final artifacts (the
+    candidate-set-filter contract — each node keeps an order-preserving
+    subset of the same slot, so composition is intersection and
+    intersections commute).  The :mod:`repro.plan` optimizer may reorder
+    such chains most-selective-first; an empty label (the default) opts
+    out and is never reordered.
     """
 
     name: str
@@ -55,6 +64,7 @@ class Operator:
     checkpoint: bool = True
     isolated: bool = False  # safe to execute in a forked worker process
     key: str = ""  # extra salt for the node fingerprint (versioning)
+    commutes: str = ""  # commutativity group (see class docstring)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -83,6 +93,7 @@ class OperatorGraph:
         checkpoint: bool = True,
         isolated: bool = False,
         key: str = "",
+        commutes: str = "",
     ) -> Operator:
         """Add an operator; ``deps`` must name already-added operators.
 
@@ -106,6 +117,7 @@ class OperatorGraph:
             checkpoint=checkpoint,
             isolated=isolated,
             key=key,
+            commutes=commutes,
         )
         self.nodes[name] = operator
         self._successors[name] = []
@@ -125,6 +137,7 @@ class OperatorGraph:
             checkpoint=operator.checkpoint,
             isolated=operator.isolated,
             key=operator.key,
+            commutes=operator.commutes,
         )
 
     # ------------------------------------------------------------------
@@ -189,6 +202,7 @@ class OperatorGraph:
                 checkpoint=operator.checkpoint,
                 isolated=operator.isolated,
                 key=operator.key,
+                commutes=operator.commutes,
             )
         return sub
 

@@ -89,6 +89,46 @@ class TestRegistry:
         assert cumulative[1.0] == 3
         assert cumulative[math.inf] == 4
 
+    def test_quantile_empty_histogram_is_zero(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(1.0) == 0.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.5)
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError, match="quantile"):
+                histogram.quantile(bad)
+
+    def test_quantile_single_observation(self):
+        # One observation in the (0.1, 1.0] bucket: every quantile
+        # interpolates within that bucket toward its upper boundary.
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.5)
+        assert histogram.quantile(1.0) == pytest.approx(1.0)
+        assert histogram.quantile(0.5) == pytest.approx(0.55)
+
+    def test_quantile_first_bucket_interpolates_from_zero(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        assert histogram.quantile(0.5) == pytest.approx(0.05)
+        assert histogram.quantile(1.0) == pytest.approx(0.1)
+
+    def test_quantile_overflow_bucket_clamps_to_last_boundary(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0))
+        for _ in range(5):
+            histogram.observe(50.0)  # all mass above the last boundary
+        assert histogram.quantile(0.01) == 1.0
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_quantile_q1_reaches_highest_occupied_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == pytest.approx(10.0)
+        assert histogram.quantile(1 / 3) == pytest.approx(0.1)
+
     def test_timer_observes_into_histogram(self):
         registry = MetricsRegistry()
         with registry.timer("t"):

@@ -1,0 +1,532 @@
+"""Tests for repro.plan: stats store, optimizer, plan executor, and CLI.
+
+Includes the issue-mandated property test: optimized and unoptimized
+executions of the same graph (with commuting filter chains reordered by
+observed selectivity) produce byte-identical artifact stores.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import AttrEquivalenceBlocker, OverlapBlocker
+from repro.blocking.canopy import CanopyBlocker
+from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
+from repro.obs import use_registry
+from repro.plan import (
+    FORK_THRESHOLD_SECONDS,
+    MODE_FORK,
+    MODE_INLINE,
+    NodeStats,
+    StatsStore,
+    execute_plan,
+    get_stats_store,
+    identity_fingerprint,
+    identity_fingerprints,
+    multi_blocker_graph,
+    plan_graph,
+    run_planned,
+    use_stats_store,
+)
+from repro.plan.optimizer import _commuting_segments
+from repro.runtime import NodeMemo, OperatorGraph, run_graph
+from repro.table import Table
+
+
+def predicate_filter(mult: int, mod: int, keep: int):
+    """A commuting list filter: keep x where (x * mult) % mod < keep."""
+
+    def fn(store, mult=mult, mod=mod, keep=keep):
+        store["items"] = [x for x in store["items"] if (x * mult) % mod < keep]
+
+    return fn
+
+
+def filter_chain_graph(params, n_items=100, name="chain"):
+    """source -> chain of commuting predicate filters over a list."""
+    graph = OperatorGraph(name)
+    graph.add(
+        "source",
+        lambda s, n=n_items: {"items": list(range(n))},
+        outputs=("items",),
+    )
+    previous = ("source",)
+    for i, (mult, mod, keep) in enumerate(params):
+        node = f"f{i}"
+        graph.add(
+            node,
+            predicate_filter(mult, mod, keep),
+            deps=previous,
+            outputs=("items",),
+            commutes="items-filter",
+        )
+        previous = (node,)
+    return graph
+
+
+def warm_stats(graph_builder, stats=None, runs=1):
+    """Run the graph unoptimized ``runs`` times, recording into ``stats``."""
+    stats = stats if stats is not None else StatsStore()
+    for _ in range(runs):
+        result = run_graph(graph_builder())
+        stats.record_result(result.graph, result)
+    return stats
+
+
+class TestIdentityFingerprints:
+    def test_stable_and_key_salted(self):
+        a = identity_fingerprint("g", "n", "k")
+        assert a == identity_fingerprint("g", "n", "k")
+        assert a != identity_fingerprint("g", "n", "other")
+        assert a != identity_fingerprint("g", "other", "k")
+        assert a != identity_fingerprint("other", "n", "k")
+
+    def test_independent_of_position(self):
+        """Unlike memo fingerprints, identity survives a chain reorder."""
+        forward = filter_chain_graph([(1, 7, 3), (3, 11, 5)])
+        backward = OperatorGraph("chain")
+        backward.add("source", lambda s: {"items": []}, outputs=("items",))
+        backward.add(
+            "f1", predicate_filter(3, 11, 5), deps=("source",),
+            outputs=("items",), commutes="items-filter",
+        )
+        backward.add(
+            "f0", predicate_filter(1, 7, 3), deps=("f1",),
+            outputs=("items",), commutes="items-filter",
+        )
+        assert identity_fingerprints(forward) == identity_fingerprints(backward)
+
+
+class TestNodeStats:
+    def test_derived_estimates(self):
+        stats = NodeStats(runs=4, wall_seconds=2.0, rows_in=1000, rows_out=100)
+        assert stats.mean_seconds() == pytest.approx(0.5)
+        assert stats.selectivity() == pytest.approx(0.1)
+        assert stats.rows_per_second() == pytest.approx(500.0)
+
+    def test_no_evidence_returns_none(self):
+        assert NodeStats().selectivity() is None
+        assert NodeStats().rows_per_second() is None
+        assert NodeStats().mean_seconds() == 0.0
+
+    def test_dict_roundtrip(self):
+        stats = NodeStats("g", "n", runs=2, wall_seconds=1.5, rows_in=10,
+                          rows_out=3, cache_hits=1)
+        assert NodeStats.from_dict(stats.to_dict()) == stats
+
+
+class TestStatsStore:
+    def test_record_result_folds_rows_and_seconds(self):
+        stats = warm_stats(lambda: filter_chain_graph([(1, 2, 1)]))
+        fp = identity_fingerprint("chain", "f0")
+        entry = stats.get(fp)
+        assert entry is not None
+        assert entry.runs == 1
+        assert entry.rows_in == 100
+        assert entry.rows_out == 50  # even numbers survive (x % 2 < 1)
+        assert entry.selectivity() == pytest.approx(0.5)
+
+    def test_record_result_counts_cache_hits(self):
+        graph = filter_chain_graph([(1, 2, 1)])
+        memo = NodeMemo()
+        run_graph(graph, memo=memo)
+        result = run_graph(graph, memo=memo)  # all served from memo
+        stats = StatsStore()
+        stats.record_result(graph, result)
+        entry = stats.get(identity_fingerprint("chain", "f0"))
+        assert entry.cache_hits == 1 and entry.runs == 0
+
+    def test_record_result_ignores_other_graphs(self):
+        stats = StatsStore()
+        result = run_graph(filter_chain_graph([(1, 2, 1)], name="other"))
+        touched = stats.record_result(filter_chain_graph([(1, 2, 1)]), result)
+        assert touched == 0 and len(stats) == 0
+
+    def test_disk_roundtrip(self, tmp_path):
+        path = tmp_path / "plan-stats.json"
+        stats = StatsStore(path=path)
+        warm_stats(lambda: filter_chain_graph([(1, 3, 1)]), stats=stats)
+        stats.save()
+        reloaded = StatsStore(path=path)
+        assert len(reloaded) == len(stats) > 0
+        fp = identity_fingerprint("chain", "f0")
+        assert reloaded.get(fp) == stats.get(fp)
+
+    def test_corrupt_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "plan-stats.json"
+        path.write_text("{not json", encoding="utf-8")
+        store = StatsStore(path=path)
+        assert len(store) == 0
+        store.save()  # overwrites the corrupt file with a valid one
+        assert json.loads(path.read_text(encoding="utf-8"))["nodes"] == {}
+
+    def test_clear_disk(self, tmp_path):
+        path = tmp_path / "plan-stats.json"
+        stats = StatsStore(path=path)
+        warm_stats(lambda: filter_chain_graph([(1, 3, 1)]), stats=stats)
+        stats.save()
+        assert path.exists()
+        stats.clear(disk=True)
+        assert len(stats) == 0 and not path.exists()
+
+    def test_env_var_controls_default_path(self, tmp_path, monkeypatch):
+        target = tmp_path / "stats.json"
+        monkeypatch.setenv("REPRO_PLAN_STATS", str(target))
+        from repro.plan import default_stats_path
+
+        assert default_stats_path() == target
+
+    def test_use_stats_store_swaps_default(self):
+        outer = get_stats_store()
+        with use_stats_store() as inner:
+            assert get_stats_store() is inner
+            assert inner is not outer
+        assert get_stats_store() is outer
+
+
+class TestCommutingSegments:
+    def test_chain_detected(self):
+        graph = filter_chain_graph([(1, 2, 1), (1, 3, 1), (1, 5, 1)])
+        assert _commuting_segments(graph) == [["f0", "f1", "f2"]]
+
+    def test_label_change_splits_segment(self):
+        graph = OperatorGraph("g")
+        graph.add("a", lambda s: {"x": []}, outputs=("x",))
+        graph.add("b", lambda s: None, deps=("a",), commutes="one")
+        graph.add("c", lambda s: None, deps=("b",), commutes="one")
+        graph.add("d", lambda s: None, deps=("c",), commutes="two")
+        graph.add("e", lambda s: None, deps=("d",), commutes="two")
+        assert _commuting_segments(graph) == [["b", "c"], ["d", "e"]]
+
+    def test_branching_breaks_segment(self):
+        graph = OperatorGraph("g")
+        graph.add("a", lambda s: None, commutes="f")
+        graph.add("b", lambda s: None, deps=("a",), commutes="f")
+        graph.add("c", lambda s: None, deps=("a",), commutes="f")  # fan-out
+        segments = _commuting_segments(graph)
+        assert all(len(segment) == 1 for segment in segments) or segments == []
+
+    def test_unlabeled_nodes_never_segment(self):
+        graph = filter_chain_graph([(1, 2, 1)])
+        plain = OperatorGraph("g")
+        plain.add("a", lambda s: None)
+        plain.add("b", lambda s: None, deps=("a",))
+        assert _commuting_segments(plain) == []
+        assert _commuting_segments(graph) == [["f0"]] or _commuting_segments(
+            graph
+        ) == []
+
+
+class TestPlanGraph:
+    def test_cold_plan_is_noop(self):
+        graph = filter_chain_graph([(1, 2, 1), (1, 3, 1)])
+        plan = plan_graph(graph, stats=StatsStore())
+        assert plan.optimized is False
+        assert plan.graph is graph  # the very same object, not a copy
+        assert plan.reorders == 0
+        assert "no statistics yet" in plan.explain()
+
+    def test_warm_plan_reorders_most_selective_first(self):
+        # f0 keeps ~67%, f1 keeps ~20%: the optimizer must put f1 first.
+        params = [(1, 3, 2), (1, 5, 1)]
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        plan = plan_graph(filter_chain_graph(params), stats=stats)
+        assert plan.optimized and plan.reorders == 1 and plan.moved_nodes == 2
+        order = plan.graph.topological_order()
+        assert order.index("f1") < order.index("f0")
+        assert plan.decisions["f1"].moved_from == 2
+        assert "(was #" in plan.explain()
+
+    def test_already_optimal_order_untouched(self):
+        params = [(1, 5, 1), (1, 3, 2)]  # most selective already first
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        plan = plan_graph(filter_chain_graph(params), stats=stats)
+        assert plan.optimized and plan.reorders == 0
+        assert plan.graph.topological_order() == ["source", "f0", "f1"]
+
+    def test_partial_evidence_keeps_user_order(self):
+        # Stats exist for the graph but f1 has no row evidence: reorder
+        # must not happen on guesses.
+        params = [(1, 3, 2), (1, 5, 1)]
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        fp = identity_fingerprint("chain", "f1")
+        stats.get(fp).rows_in = 0
+        plan = plan_graph(filter_chain_graph(params), stats=stats)
+        assert plan.optimized and plan.reorders == 0
+        assert plan.graph.topological_order() == ["source", "f0", "f1"]
+
+    def test_mode_selection_from_measured_cost(self):
+        graph = OperatorGraph("modes")
+        graph.add("cheap", lambda s: {"a": [1]}, outputs=("a",), isolated=True)
+        graph.add("heavy", lambda s: {"b": [2]}, outputs=("b",), isolated=True)
+        graph.add("unsafe", lambda s: {"c": [3]}, outputs=("c",))
+        stats = StatsStore()
+        result = run_graph(graph)
+        stats.record_result(graph, result)
+        # Dial the recorded costs to either side of the fork threshold.
+        stats.get(identity_fingerprint("modes", "cheap")).wall_seconds = 0.001
+        stats.get(identity_fingerprint("modes", "heavy")).wall_seconds = (
+            10 * FORK_THRESHOLD_SECONDS
+        )
+        plan = plan_graph(graph, stats=stats)
+        assert plan.decisions["cheap"].mode == MODE_INLINE
+        assert plan.decisions["heavy"].mode == MODE_FORK
+        assert plan.decisions["unsafe"].mode == MODE_INLINE  # never fork-safe
+
+    def test_warm_nodes_marked_from_memo(self):
+        graph = filter_chain_graph([(1, 2, 1)])
+        memo = NodeMemo()
+        stats = StatsStore()
+        result = run_graph(graph, memo=memo)
+        stats.record_result(graph, result)
+        plan = plan_graph(filter_chain_graph([(1, 2, 1)]), stats=stats, memo=memo)
+        assert plan.warm_nodes() == {"source", "f0"}
+
+    def test_metrics_emitted(self):
+        params = [(1, 3, 2), (1, 5, 1)]
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        with use_registry() as registry:
+            plan_graph(filter_chain_graph(params), stats=StatsStore())
+            plan_graph(filter_chain_graph(params), stats=stats)
+            assert (
+                registry.counter(
+                    "plan_runs_total", graph="chain", optimized="false"
+                ).value
+                == 1
+            )
+            assert (
+                registry.counter(
+                    "plan_runs_total", graph="chain", optimized="true"
+                ).value
+                == 1
+            )
+            assert registry.counter("plan_reorders_total", graph="chain").value == 1
+
+
+class TestExecutePlan:
+    def test_cold_run_matches_run_graph(self):
+        baseline = run_graph(filter_chain_graph([(1, 3, 2), (1, 5, 1)]))
+        result = run_planned(
+            filter_chain_graph([(1, 3, 2), (1, 5, 1)]), stats=StatsStore()
+        )
+        assert result.store == baseline.store
+
+    def test_warm_run_reorders_and_matches(self):
+        params = [(1, 3, 2), (2, 7, 1), (1, 5, 1)]
+        baseline = run_graph(filter_chain_graph(params))
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        plan = plan_graph(filter_chain_graph(params), stats=stats)
+        assert plan.reorders == 1
+        result = execute_plan(plan, stats=stats, record=False)
+        assert pickle.dumps(result.store) == pickle.dumps(baseline.store)
+
+    def test_run_planned_records_into_stats(self):
+        stats = StatsStore()
+        run_planned(filter_chain_graph([(1, 2, 1)]), stats=stats)
+        assert identity_fingerprint("chain", "f0") in stats
+
+    def test_run_planned_persists_stats(self, tmp_path):
+        path = tmp_path / "plan-stats.json"
+        stats = StatsStore(path=path)
+        run_planned(filter_chain_graph([(1, 2, 1)]), stats=stats)
+        assert path.exists()
+        assert len(StatsStore(path=path)) == len(stats)
+
+    def test_warm_nodes_served_before_waves(self):
+        # Most-selective-first already: no reorder, so the structural memo
+        # fingerprints survive planning and the whole run is cache-served.
+        params = [(1, 5, 1), (1, 3, 2)]
+        memo = NodeMemo()
+        stats = StatsStore()
+        baseline = run_graph(filter_chain_graph(params), memo=memo)
+        stats.record_result(baseline.graph, baseline)
+        plan = plan_graph(filter_chain_graph(params), stats=stats, memo=memo)
+        assert plan.warm_nodes()
+        result = execute_plan(plan, memo=memo, stats=stats, record=False)
+        assert result.store == baseline.store
+        assert all(record.cached for record in result.records.values())
+
+    def test_estimated_vs_actual_histogram_observed(self):
+        params = [(1, 3, 2), (1, 5, 1)]
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        with use_registry() as registry:
+            plan = plan_graph(filter_chain_graph(params), stats=stats)
+            execute_plan(plan, stats=stats, record=False)
+            histogram = registry.histogram(
+                "plan_estimated_vs_actual_seconds", graph="chain"
+            )
+            assert histogram.count >= len(params)
+
+    def test_on_error_halt_propagates_through_planner(self):
+        graph = OperatorGraph("err")
+        graph.add("boom", lambda s: (_ for _ in ()).throw(ValueError("x")))
+        result = run_planned(graph, stats=StatsStore(), on_error="halt")
+        assert not result.ok and isinstance(result.first_error, ValueError)
+
+
+def table_pair():
+    ltable = Table(
+        {
+            "id": [1, 2, 3, 4],
+            "name": ["red widget", "blue widget", "green gadget", "red gadget"],
+            "cat": ["a", "b", "a", "b"],
+        }
+    )
+    rtable = Table(
+        {
+            "id": [10, 20, 30, 40],
+            "name": ["red widget", "blue gadget", "green gadget", "blue widget"],
+            "cat": ["a", "b", "a", "a"],
+        }
+    )
+    return ltable, rtable
+
+
+def candset_bytes(candset):
+    return pickle.dumps({c: candset.column(c) for c in candset.columns})
+
+
+class TestMultiBlockerPipeline:
+    def test_blocker_filter_chain_byte_identical_after_reorder(self):
+        ltable, rtable = table_pair()
+
+        def build():
+            return multi_blocker_graph(
+                "mb",
+                ltable,
+                rtable,
+                OverlapBlocker("name", overlap_size=1),
+                [
+                    ("f_name", OverlapBlocker("name", overlap_size=2)),
+                    ("f_cat", AttrEquivalenceBlocker("cat")),
+                ],
+            )
+
+        baseline = run_graph(build())
+        stats = warm_stats(build)
+        plan = plan_graph(build(), stats=stats)
+        assert plan.optimized
+        result = execute_plan(plan, stats=stats, record=False)
+        assert candset_bytes(result.store["candset"]) == candset_bytes(
+            baseline.store["candset"]
+        )
+
+    def test_key_salt_separates_datasets(self):
+        ltable, rtable = table_pair()
+        graphs = [
+            multi_blocker_graph(
+                "mb", ltable, rtable, OverlapBlocker("name"),
+                [("f_cat", AttrEquivalenceBlocker("cat"))], key_salt=salt,
+            )
+            for salt in ("ds1", "ds2")
+        ]
+        fps = [set(identity_fingerprints(g).values()) for g in graphs]
+        assert fps[0].isdisjoint(fps[1])
+
+
+class TestCommutativityDeclarations:
+    def test_pair_local_blockers_commute(self):
+        assert OverlapBlocker("x").commutative is True
+        assert AttrEquivalenceBlocker("x").commutative is True
+
+    def test_table_level_blockers_do_not(self):
+        assert SortedNeighborhoodBlocker("x").commutative is False
+        assert CanopyBlocker("x").commutative is False
+
+    def test_as_filter_operator_carries_group_label(self):
+        operator = OverlapBlocker("x").as_filter_operator(name="f")
+        assert operator.commutes == "candset-filter:candset"
+        assert operator.outputs == ("candset",)
+        non_commuting = SortedNeighborhoodBlocker("x").as_filter_operator(name="g")
+        assert non_commuting.commutes == ""
+
+
+filter_params = st.tuples(
+    st.integers(min_value=1, max_value=7),
+    st.integers(min_value=2, max_value=11),
+    st.integers(min_value=1, max_value=10),
+)
+
+
+class TestOptimizedEquivalenceProperty:
+    @given(st.lists(filter_params, min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_optimized_store_byte_identical(self, params):
+        baseline = run_graph(filter_chain_graph(params))
+        stats = warm_stats(lambda: filter_chain_graph(params))
+        plan = plan_graph(filter_chain_graph(params), stats=stats)
+        assert plan.optimized
+        result = execute_plan(plan, stats=stats, record=False)
+        assert pickle.dumps(result.store) == pickle.dumps(baseline.store)
+        # The plan is a permutation, never an addition or removal.
+        assert sorted(plan.graph.topological_order()) == sorted(
+            baseline.graph.topological_order()
+        )
+
+
+class TestPlanCLI:
+    def write_tables(self, tmp_path):
+        ltable, rtable = table_pair()
+        from repro.table import write_csv
+
+        lpath, rpath = tmp_path / "A.csv", tmp_path / "B.csv"
+        write_csv(ltable, lpath)
+        write_csv(rtable, rpath)
+        return str(lpath), str(rpath)
+
+    def test_explain_cold_then_warm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lpath, rpath = self.write_tables(tmp_path)
+        stats = str(tmp_path / "stats.json")
+        assert main(["plan", "explain", lpath, rpath, "--stats", stats]) == 0
+        out = capsys.readouterr().out
+        assert "no statistics yet" in out
+        assert (
+            main(["plan", "explain", lpath, rpath, "--stats", stats, "--execute"])
+            == 0
+        )
+        assert main(["plan", "explain", lpath, rpath, "--stats", stats]) == 0
+        out = capsys.readouterr().out
+        assert "optimized" in out
+
+    def test_clear(self, tmp_path, capsys):
+        from repro.cli import main
+
+        lpath, rpath = self.write_tables(tmp_path)
+        stats = str(tmp_path / "stats.json")
+        main(["plan", "explain", lpath, rpath, "--stats", stats, "--execute"])
+        assert main(["plan", "clear", "--stats", stats]) == 0
+        assert main(["plan", "clear", "--stats", stats]) == 1  # already gone
+
+
+class TestFrontEndWiring:
+    def test_workflow_optimize_flag(self):
+        from repro.pipeline import MagellanWorkflow
+
+        def build():
+            workflow = MagellanWorkflow("wf")
+            workflow.artifacts["items"] = list(range(50))
+            workflow.add_step("wide", predicate_filter(1, 3, 2), commutes="items")
+            workflow.add_step("narrow", predicate_filter(1, 5, 1), commutes="items")
+            return workflow
+
+        baseline = build().run()
+        with use_stats_store() as stats:
+            optimized_workflow = build()
+            optimized_workflow.run(optimize=True)  # cold: records stats
+            assert len(stats) > 0
+            again = build()
+            again.run(optimize=True)  # warm: may reorder
+            assert again.artifacts["items"] == baseline["items"]
+
+    def test_engine_optimize_flag_default_off(self):
+        from repro.cloud.engines import ExecutionEngine, MetaManager
+        from repro.cloud.services import ServiceKind
+
+        assert ExecutionEngine(ServiceKind.BATCH).optimize is False
+        manager = MetaManager(optimize=True)
+        assert all(engine.optimize for engine in manager.engines.values())

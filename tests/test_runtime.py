@@ -97,6 +97,120 @@ class TestGraph:
         assert "diamond" in repr(graph)
 
 
+def permuted_diamonds():
+    """The diamond DAG built under every valid insertion order."""
+    specs = {
+        "a": (),
+        "b": ("a",),
+        "c": ("a",),
+        "d": ("b", "c"),
+    }
+    orders = [
+        ["a", "b", "c", "d"],
+        ["a", "c", "b", "d"],
+    ]
+    graphs = []
+    for order in orders:
+        graph = OperatorGraph("diamond")
+        for name in order:
+            graph.add(name, lambda s: None, deps=specs[name])
+        graphs.append((order, graph))
+    return graphs
+
+
+class TestOrderDeterminism:
+    """topological_order/subgraph are pure functions of the built graph."""
+
+    def test_topological_order_is_stable_across_calls(self):
+        for _, graph in permuted_diamonds():
+            first = graph.topological_order()
+            assert all(graph.topological_order() == first for _ in range(5))
+
+    def test_topological_order_respects_deps_under_any_insertion(self):
+        for _, graph in permuted_diamonds():
+            order = graph.topological_order()
+            position = {name: i for i, name in enumerate(order)}
+            for name, operator in graph.nodes.items():
+                assert all(position[dep] < position[name] for dep in operator.deps)
+
+    def test_ties_break_by_insertion_order(self):
+        for insertion, graph in permuted_diamonds():
+            # b and c are unordered by deps; insertion decides, nothing else.
+            assert graph.topological_order() == insertion
+
+    def test_identical_builds_identical_order(self):
+        built = [
+            graph.topological_order()
+            for _, graph in [permuted_diamonds()[0], permuted_diamonds()[0]]
+        ]
+        assert built[0] == built[1]
+
+    def test_subgraph_preserves_relative_order(self):
+        for _, graph in permuted_diamonds():
+            parent_order = graph.topological_order()
+            for keep in (["a", "d"], ["b", "d"], ["a", "b", "c"], ["c", "d"]):
+                sub_order = graph.subgraph(keep).topological_order()
+                assert sub_order == [n for n in parent_order if n in set(keep)]
+
+    def test_subgraph_is_deterministic_across_calls(self):
+        graph = permuted_diamonds()[1][1]
+        first = graph.subgraph(["a", "b", "d"]).topological_order()
+        for _ in range(5):
+            assert graph.subgraph(["a", "b", "d"]).topological_order() == first
+
+
+class TestRowCountEvents:
+    """NODE_FINISH events carry sized input/output rows for the planner."""
+
+    def graph(self):
+        graph = OperatorGraph("rows")
+        graph.add("make", lambda s: {"items": list(range(10))}, outputs=("items",))
+        graph.add(
+            "shrink",
+            lambda s: {"items": s["items"][:3]},
+            deps=("make",),
+            outputs=("items",),
+        )
+        return graph
+
+    def finish_events(self, result):
+        return {e.node: e for e in result.events.of(NODE_FINISH)}
+
+    def test_rows_measured_before_and_after(self):
+        finishes = self.finish_events(run_graph(self.graph()))
+        assert finishes["make"].rows_in == 0
+        assert finishes["make"].rows_out == 10
+        # "shrink" overwrites the slot it reads: rows_in must still be the
+        # pre-execution size, not the post-execution one.
+        assert finishes["shrink"].rows_in == 10
+        assert finishes["shrink"].rows_out == 3
+
+    def test_rows_match_under_parallel_executor(self):
+        serial = self.finish_events(run_graph(self.graph()))
+        parallel = self.finish_events(
+            run_graph(self.graph(), executor=ParallelExecutor(n_jobs=2))
+        )
+        for node in serial:
+            assert (serial[node].rows_in, serial[node].rows_out) == (
+                parallel[node].rows_in,
+                parallel[node].rows_out,
+            )
+
+    def test_unsized_artifacts_count_zero(self):
+        graph = OperatorGraph("scalar")
+        graph.add("a", lambda s: {"x": 42}, outputs=("x",))
+        graph.add("b", lambda s: {"y": "a string"}, deps=("a",), outputs=("y",))
+        finishes = self.finish_events(run_graph(graph))
+        assert finishes["a"].rows_out == 0  # int has no rows
+        assert finishes["b"].rows_in == 0
+        assert finishes["b"].rows_out == 0  # strings deliberately uncounted
+
+    def test_rows_in_event_dict_roundtrip(self):
+        result = run_graph(self.graph())
+        payload = self.finish_events(result)["shrink"].to_dict()
+        assert payload["rows_in"] == 10 and payload["rows_out"] == 3
+
+
 class TestRunGraph:
     def test_serial_executes_all(self):
         result = run_graph(diamond_graph())
