@@ -5,6 +5,15 @@ from each side and keep pairs sharing at least ``overlap_size`` tokens.
 ``block_tables`` delegates to the filtered overlap join in
 :mod:`repro.simjoin`, so it scales like the sim-join and never enumerates
 the cross product.
+
+For long-running deployments the right table need not be frozen:
+:meth:`OverlapBlocker.live_index` wraps it in a
+:class:`repro.index.LiveIndex` carrying this blocker's exact semantics
+(lowercasing, tokenizer, overlap threshold), and
+:meth:`OverlapBlocker.block_live` blocks new left rows against that
+index — equal output to :meth:`block_tables` over the index's current
+records, while ``upsert``/``delete`` absorb right-table churn without a
+rebuild.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ from collections.abc import Sequence
 from repro.blocking.base import Blocker, make_candset, observe_blocking
 from repro.catalog.catalog import Catalog
 from repro.exceptions import ConfigurationError
+from repro.index.delta import LiveIndex
+from repro.index.store import IndexStore
 from repro.simjoin.joins import set_sim_join
 from repro.table.schema import is_missing
 from repro.table.table import Row, Table
@@ -107,4 +118,65 @@ class OverlapBlocker(Blocker):
         observe_blocking(self, len(pairs))
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+        )
+
+    # ------------------------------------------------------------------
+    # Live blocking
+    # ------------------------------------------------------------------
+    def live_index(
+        self,
+        rtable: Table,
+        r_key: str = "id",
+        store: IndexStore | None = None,
+        name: str = "overlap-block",
+    ) -> LiveIndex:
+        """A :class:`LiveIndex` over the right table with this blocker's
+        semantics baked in (lowercasing via ``normalize``, this
+        tokenizer, overlap >= ``overlap_size``).  Upsert/delete right
+        records on it, then block against it with :meth:`block_live`.
+        """
+        rtable.require_columns([r_key, self.r_block_attr])
+        return LiveIndex.from_table(
+            rtable,
+            r_key,
+            self.r_block_attr,
+            tokenizer=self._tokenizer(),
+            measure="overlap",
+            threshold=self.overlap_size,
+            normalize=str.lower,
+            store=store,
+            name=name,
+        )
+
+    def block_live(
+        self,
+        ltable: Table,
+        live: LiveIndex,
+        l_key: str = "id",
+        rtable: Table | None = None,
+        l_output_attrs: Sequence[str] = (),
+        r_output_attrs: Sequence[str] = (),
+        catalog: Catalog | None = None,
+    ) -> Table:
+        """Block left rows against a live right-side index.
+
+        Produces the same candidate set as :meth:`block_tables` run
+        against the index's *current* records.  ``rtable`` (defaulting
+        to ``live.to_table()``) supplies the right rows for
+        ``r_output_attrs`` projection.
+        """
+        ltable.require_columns([l_key, self.l_block_attr])
+        l_view = Table(
+            {
+                l_key: ltable.column(l_key),
+                self.l_block_attr: ltable.column(self.l_block_attr),
+            }
+        )
+        joined = live.join_table(l_view, l_key, self.l_block_attr)
+        pairs = list(zip(joined.column("l_id"), joined.column("r_id")))
+        observe_blocking(self, len(pairs))
+        if rtable is None:
+            rtable = live.to_table()
+        return make_candset(
+            pairs, ltable, rtable, l_key, live.key, l_output_attrs, r_output_attrs, catalog
         )

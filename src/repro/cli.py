@@ -18,7 +18,12 @@ Subcommands
     for a table's string columns and persist them, so later matching
     runs pointed at the same cache start warm.
 ``repro index inspect --cache-dir DIR``
-    List the persisted index artifacts in a cache directory.
+    List the persisted index artifacts in a cache directory, plus the
+    delta state (generation, delta rows, tombstones, bytes since the
+    last compaction) of any persisted live indexes.
+``repro index compact [--name NAME] --cache-dir DIR``
+    Fold persisted live indexes' delta segments into fresh base
+    segments and re-save them.
 ``repro serve A.csv --key id --column name --threshold 0.4``
     Resident match server: load the corpus index once, then answer
     point queries from stdin (or ``--queries FILE``) as JSON lines,
@@ -281,17 +286,63 @@ def cmd_index_build(args) -> int:
 
 
 def cmd_index_inspect(args) -> int:
-    """List the persisted index artifacts in a cache directory."""
-    from repro.index import IndexStore
+    """List persisted index artifacts and live-index delta state."""
+    from repro.index import IndexStore, list_live_indexes
 
     artifacts = IndexStore(cache_dir=args.cache_dir).disk_artifacts()
-    if not artifacts:
+    live = list_live_indexes(args.cache_dir)
+    if not artifacts and not live:
         print(f"no index artifacts under {args.cache_dir}")
         return 1
-    print(f"{'kind':<12} {'bytes':>10}  digest")
-    for row in artifacts:
-        print(f"{row['kind']:<12} {row['bytes']:>10}  {row['digest']}")
-    print(f"{len(artifacts)} artifacts, {sum(r['bytes'] for r in artifacts)} bytes total")
+    if artifacts:
+        print(f"{'kind':<12} {'bytes':>10}  digest")
+        for row in artifacts:
+            print(f"{row['kind']:<12} {row['bytes']:>10}  {row['digest']}")
+        print(
+            f"{len(artifacts)} artifacts, "
+            f"{sum(r['bytes'] for r in artifacts)} bytes total"
+        )
+    if live:
+        if artifacts:
+            print()
+        header = (
+            f"{'live index':<20} {'gen':>6} {'rows':>8} {'delta':>7} "
+            f"{'tombstones':>11} {'delta bytes':>12} {'compactions':>12}"
+        )
+        print(header)
+        for manifest in live:
+            print(
+                f"{manifest.get('name', '?'):<20} "
+                f"{manifest.get('generation', 0):>6} "
+                f"{manifest.get('live_rows', 0):>8} "
+                f"{manifest.get('delta_rows', 0):>7} "
+                f"{manifest.get('tombstones', 0):>11} "
+                f"{manifest.get('delta_bytes', 0):>12} "
+                f"{manifest.get('compactions', 0):>12}"
+            )
+        print(f"{len(live)} live index(es)")
+    return 0
+
+
+def cmd_index_compact(args) -> int:
+    """Compact persisted live indexes: fold each delta into a new base."""
+    from repro.index import IndexStore, LiveIndex, list_live_indexes
+
+    store = IndexStore(cache_dir=args.cache_dir)
+    names = args.name or [m["name"] for m in list_live_indexes(args.cache_dir)]
+    if not names:
+        print(f"no live indexes under {args.cache_dir}")
+        return 1
+    for name in names:
+        live = LiveIndex.load(name, store=store)
+        before = live.stats()
+        after = live.compact()
+        live.save()
+        print(
+            f"compacted {name!r}: {before['delta_rows']} delta rows + "
+            f"{before['tombstones']} tombstones folded into a "
+            f"{after['base_rows']}-row base (generation {after['generation']})"
+        )
     return 0
 
 
@@ -542,6 +593,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = index_sub.add_parser("inspect", help="list persisted index artifacts")
     p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
     p.set_defaults(fn=cmd_index_inspect)
+    p = index_sub.add_parser(
+        "compact", help="fold live-index deltas into fresh base segments"
+    )
+    p.add_argument(
+        "--name", action="append", default=None, metavar="NAME",
+        help="live index to compact (repeatable; default: all persisted)",
+    )
+    p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
+    p.set_defaults(fn=cmd_index_compact)
 
     p = sub.add_parser("serve", help="resident match server over one corpus table")
     p.add_argument("corpus")

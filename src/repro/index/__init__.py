@@ -8,8 +8,19 @@ blocking-rule execution, and Falcon/Smurf iteration that asks again —
 in memory within a process, and from an atomic on-disk cache across
 runs.  See :mod:`repro.index.store` for the artifact chain and
 :mod:`repro.index.fingerprints` for the keying scheme.
+
+On top of the immutable artifacts, :class:`LiveIndex`
+(:mod:`repro.index.delta`) adds the mutable half: a base + delta
+two-layer index supporting upsert/delete/compact with the contract that
+an incrementally-maintained index returns exactly what a from-scratch
+rebuild over its current records would.
 """
 
+from repro.index.delta import (
+    LIVE_FORMAT_VERSION,
+    LiveIndex,
+    list_live_indexes,
+)
 from repro.index.fingerprints import (
     FORMAT_VERSION,
     column_fingerprint,
@@ -33,12 +44,15 @@ __all__ = [
     "FORMAT_VERSION",
     "GramIndex",
     "IndexStore",
+    "LIVE_FORMAT_VERSION",
+    "LiveIndex",
     "PairEncoding",
     "PrefixIndex",
     "TokenizedColumn",
     "column_fingerprint",
     "combine",
     "get_index_store",
+    "list_live_indexes",
     "set_index_store",
     "tokenizer_fingerprint",
     "use_index_store",

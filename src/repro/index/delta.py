@@ -1,0 +1,703 @@
+"""Live indexes: an immutable base segment plus a mutable delta segment.
+
+The :class:`~repro.index.store.IndexStore` artifact chain is build-once/
+probe-many: any table mutation changes the content fingerprint and
+invalidates the whole chain, so absorbing even one new record meant a
+full rebuild.  A :class:`LiveIndex` refactors that substrate into the
+classic two-layer design of long-running search systems:
+
+* the **base segment** is exactly today's read-only artifact chain —
+  records → token sets → a corpus :class:`~repro.perf.tokens.TokenUniverse`
+  → prefix postings → verification masks — built *through* the store
+  (fingerprinted, disk-persistable, shared with every batch join over
+  the same content) and never mutated;
+* the **delta segment** is mutable and append-only: upserted records get
+  token ids from the base universe plus an append-only extension for
+  unseen tokens, their prefix tokens are insertion-sorted into per-token
+  delta postings, and deletes *tombstone* positions (base or delta)
+  instead of touching any posting list.
+
+Reads probe both segments with the same
+:func:`repro.simjoin.joins.probe_encoded` kernel the batch joins and the
+serving path run — identical size/prefix bounds math, with tombstoned
+positions filtered out of the candidate set — so the correctness
+contract is exact: after any interleaving of upserts, deletes, and
+compactions, a live index returns the *same survivors with the same
+scores* as an index rebuilt from scratch over its current records
+(property-tested in ``tests/test_live_index.py``, mirroring the
+warm==cold contract of the store).
+
+Soundness of the shared prefix filter rests on one invariant: the live
+token ordering *extends* the base ordering (new tokens get ids past the
+end of the base universe), so base-segment prefixes computed at build
+time remain prefixes under the live ordering, and probe-side prefixes
+are taken under the same total order as both segments' postings.
+
+``compact()`` folds the delta into a new base: it snapshots the live
+records, rebuilds the artifact chain (outside the lock — readers keep
+probing the old segments), then swaps in the new base and replays any
+operations that arrived during the build onto a fresh delta.  Writers
+and readers are serialized by one ``RLock``; the expensive part of
+compaction never holds it.
+
+Observability: ``index_delta_ops_total{op}``, the ``index_tombstones``
+gauge, ``index_compactions_total``, and the ``index_delta_probe_seconds``
+histogram.
+
+Persistence: :meth:`LiveIndex.save` writes ``live-<name>.pkl`` (base
+records + the operation log since the last compaction) and a JSON
+manifest ``live-<name>.json`` next to the store's fingerprinted
+artifacts; :meth:`LiveIndex.load` rebuilds the base through the store
+(warm from the disk tier when present) and replays the log.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+from bisect import bisect_right
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exceptions import (
+    ConfigurationError,
+    KeyConstraintError,
+    ServiceError,
+)
+from repro.index.store import IndexStore, get_index_store
+from repro.obs import get_registry, trace_span
+from repro.perf.kernels import (
+    MASK_UNIVERSE_MAX,
+    make_overlap_bound,
+    make_scorer,
+    token_mask,
+)
+from repro.runtime.checkpoint import atomic_write_bytes
+from repro.simjoin.filters import prefix_length, validate_measure
+from repro.table.schema import is_missing
+from repro.table.table import Table
+from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
+
+# Bump when the live-index persistence layout changes: stale files must
+# be rejected, never unpickled into the wrong shape.
+LIVE_FORMAT_VERSION = 1
+
+
+class _BaseSegment:
+    """The immutable artifact chain for one frozen snapshot of records.
+
+    Everything here is a shared, read-only :class:`IndexStore` artifact
+    (or derived from one); deletes against base records live *outside*
+    this object, as a tombstone set held by the :class:`LiveIndex`.
+    """
+
+    __slots__ = ("records", "universe", "enc", "index", "masks", "positions")
+
+    def __init__(self, records, universe, enc, index, masks, positions):
+        self.records = records      # [(key, value)] — the frozen snapshot
+        self.universe = universe    # TokenUniverse over the snapshot
+        self.enc = enc              # [(key, ids)] in record order
+        self.index = index          # token id -> (sizes, positions)
+        self.masks = masks          # [int] | None (mask kernel)
+        self.positions = positions  # key -> base position
+
+
+class _DeltaSegment:
+    """The mutable segment: append-only records, postings, tombstones."""
+
+    __slots__ = ("enc", "values", "postings", "masks", "tombstones", "positions", "ext_ids")
+
+    def __init__(self, with_masks: bool):
+        self.enc: list[tuple[Any, tuple[int, ...]]] = []
+        self.values: list[str] = []
+        self.postings: dict[int, tuple[list[int], list[int]]] = {}
+        self.masks: list[int] | None = [] if with_masks else None
+        self.tombstones: set[int] = set()
+        self.positions: dict[Any, int] = {}
+        self.ext_ids: dict[str, int] = {}
+
+
+class LiveIndex:
+    """A probeable corpus index that absorbs upserts and deletes.
+
+    One live index holds one ``(key column, value column, tokenizer,
+    measure, threshold)`` configuration, like a :class:`~repro.serve.MatchServer`.
+    Build one from a table (:meth:`from_table`) or start empty
+    (:meth:`empty`) and stream records in::
+
+        live = LiveIndex.from_table(corpus, "id", "name", threshold=0.4)
+        live.upsert("b999", "dave smith")      # visible to the next probe
+        live.delete("b17")                     # tombstoned, never rebuilt
+        matches, n_candidates = live.search("dave smith")
+        live.compact()                         # fold delta into a new base
+
+    ``normalize`` (e.g. ``str.lower`` for :class:`OverlapBlocker`
+    semantics) is applied to every indexed value and every query.  All
+    public methods are thread-safe; ``compact()`` runs its expensive
+    rebuild outside the lock so concurrent readers are never blocked on
+    it.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        column: str,
+        tokenizer: Tokenizer | None = None,
+        measure: str = "jaccard",
+        threshold: float = 0.7,
+        kernel: str = "auto",
+        normalize: Callable[[str], str] | None = None,
+        store: IndexStore | None = None,
+        name: str = "default",
+        base_table: Table | None = None,
+    ):
+        # Imported here (not at module top): repro.simjoin.joins imports
+        # repro.index.store, so a top-level import would be circular.
+        from repro.simjoin.joins import KERNELS
+
+        measure = validate_measure(measure)
+        if measure != "overlap" and not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold for {measure} must be in (0, 1], got {threshold}"
+            )
+        if measure == "overlap" and threshold < 1:
+            raise ConfigurationError(f"overlap threshold must be >= 1, got {threshold}")
+        if kernel not in KERNELS:
+            raise ConfigurationError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+        self.key = key
+        self.column = column
+        self.name = name
+        self.tokenizer = (
+            tokenizer if tokenizer is not None else WhitespaceTokenizer(return_set=True)
+        )
+        self.measure = measure
+        self.threshold = threshold
+        self.kernel = kernel
+        self._normalize = normalize
+        self._store = store if store is not None else get_index_store()
+        self._scorer = make_scorer(measure)
+        self._overlap_bound = make_overlap_bound(measure, threshold)
+
+        # One RLock serializes every segment access; compaction holds it
+        # only for its snapshot and swap phases, never for the rebuild.
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._compactions = 0
+        self._compacting = False
+        # Operation log since the last base build: the replayable delta
+        # (persistence) and the replay source for ops racing a compaction.
+        self._ops: list[tuple] = []
+
+        if base_table is None:
+            base_table = Table({key: [], column: []})
+        self._base = self._build_base(base_table)
+        self._base_tombstones: set[int] = set()
+        self._delta = _DeltaSegment(with_masks=self._base.masks is not None)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, key: str, column: str, **kwargs: Any) -> "LiveIndex":
+        """Build a live index whose base segment covers ``table``."""
+        table.require_columns([key, column])
+        return cls(key, column, base_table=table, **kwargs)
+
+    @classmethod
+    def empty(cls, key: str = "id", column: str = "value", **kwargs: Any) -> "LiveIndex":
+        """A live index with an empty base — the streaming starting point."""
+        return cls(key, column, **kwargs)
+
+    def _prepare(self, value: Any) -> str | None:
+        """Canonical string form of a value (``None`` when missing)."""
+        if is_missing(value):
+            return None
+        text = str(value)
+        return self._normalize(text) if self._normalize is not None else text
+
+    def _view(self, table: Table, key: str, column: str) -> Table:
+        """The table the store artifacts are built from.
+
+        Without ``normalize`` the original table is passed through, so
+        the base artifacts share fingerprints (and therefore cache
+        entries) with any batch join over the same content.
+        """
+        if self._normalize is None:
+            return table
+        return Table(
+            {
+                key: table.column(key),
+                column: [self._prepare(v) for v in table.column(column)],
+            }
+        )
+
+    def _build_base(self, table: Table) -> _BaseSegment:
+        """Run the store's artifact chain over a snapshot table."""
+        store = self._store
+        view = self._view(table, self.key, self.column)
+        records = store.string_records(view, self.key, self.column)
+        tc = store.tokenized_column(view, self.key, self.column, self.tokenizer)
+        encoding = store.pair_encoding(tc, tc)
+        index = store.prefix_index(encoding, self.measure, self.threshold).index
+        use_masks = self.kernel == "mask" or (
+            self.kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
+        )
+        masks = store.right_masks(encoding) if use_masks else None
+        positions: dict[Any, int] = {}
+        for position, (row_key, _) in enumerate(records):
+            if row_key in positions:
+                raise KeyConstraintError(
+                    f"live index requires unique keys; {row_key!r} appears twice"
+                )
+            positions[row_key] = position
+        return _BaseSegment(records, encoding.universe, encoding.right, index, masks, positions)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(self, row_key: Any, value: Any) -> bool:
+        """Insert or replace one record; visible to the very next probe.
+
+        A missing ``value`` tombstones the key (a live record with no
+        indexable value matches nothing — exactly what a rebuild over
+        the current records would produce).  Returns ``True`` when the
+        record was indexed, ``False`` when it degenerated to a delete.
+        """
+        with self._lock:
+            self._ops.append(("u", row_key, value))
+            live = self._upsert_locked(row_key, value)
+            self._generation += 1
+            tombstones = len(self._base_tombstones) + len(self._delta.tombstones)
+        registry = get_registry()
+        registry.counter("index_delta_ops_total", op="upsert").inc()
+        registry.gauge("index_tombstones", index=self.name).set(tombstones)
+        return live
+
+    def delete(self, row_key: Any) -> bool:
+        """Tombstone one record; returns whether it was present."""
+        with self._lock:
+            self._ops.append(("d", row_key))
+            removed = self._tombstone_locked(row_key)
+            self._generation += 1
+            tombstones = len(self._base_tombstones) + len(self._delta.tombstones)
+        registry = get_registry()
+        registry.counter("index_delta_ops_total", op="delete").inc()
+        registry.gauge("index_tombstones", index=self.name).set(tombstones)
+        return removed
+
+    def _apply_locked(self, op: tuple) -> None:
+        """Replay one logged operation (compaction swap / load)."""
+        if op[0] == "u":
+            self._upsert_locked(op[1], op[2])
+        else:
+            self._tombstone_locked(op[1])
+
+    def _upsert_locked(self, row_key: Any, value: Any) -> bool:
+        self._tombstone_locked(row_key)
+        prepared = self._prepare(value)
+        if prepared is None:
+            return False
+        delta = self._delta
+        ids = self._encode_indexed(set(self.tokenizer.tokenize_cached(prepared)))
+        position = len(delta.enc)
+        delta.enc.append((row_key, ids))
+        delta.values.append(prepared)
+        if delta.masks is not None:
+            delta.masks.append(token_mask(ids))
+        size = len(ids)
+        if size:
+            prefix = ids[: prefix_length(self.measure, self.threshold, size)]
+            for token in prefix:
+                entry = delta.postings.get(token)
+                if entry is None:
+                    entry = delta.postings[token] = ([], [])
+                sizes, positions = entry
+                # Postings stay sorted by (size, position): equal sizes
+                # keep insertion order, and positions only ever grow.
+                at = bisect_right(sizes, size)
+                sizes.insert(at, size)
+                positions.insert(at, position)
+        delta.positions[row_key] = position
+        return True
+
+    def _tombstone_locked(self, row_key: Any) -> bool:
+        position = self._delta.positions.pop(row_key, None)
+        if position is not None:
+            self._delta.tombstones.add(position)
+            return True
+        position = self._base.positions.get(row_key)
+        if position is not None and position not in self._base_tombstones:
+            self._base_tombstones.add(position)
+            return True
+        return False
+
+    def _encode_indexed(self, tokens: set[str]) -> tuple[int, ...]:
+        """Ids for an *indexed* record: unseen tokens extend the universe.
+
+        Extension ids start past the base universe, so the live total
+        order extends the base order — the invariant that keeps base
+        prefixes (computed at build time) valid prefixes forever.
+        Unseen tokens are assigned in sorted order so replaying a
+        persisted op log reproduces the exact same assignment.
+        """
+        universe = self._base.universe
+        ext = self._delta.ext_ids
+        ids = []
+        unseen = []
+        for token in tokens:
+            if token in universe:
+                ids.append(universe.token_id(token))
+            else:
+                known = ext.get(token)
+                if known is not None:
+                    ids.append(known)
+                else:
+                    unseen.append(token)
+        base_size = len(universe)
+        for token in sorted(unseen):
+            token_id = base_size + len(ext)
+            ext[token] = token_id
+            ids.append(token_id)
+        return tuple(sorted(ids))
+
+    def _encode_query(self, tokens: set[str]) -> tuple[int, ...]:
+        """Ids for a probe: tokens unknown to both segments are dropped.
+
+        Dropping is lossless (they cannot overlap any indexed record)
+        as long as scoring uses the query's true token count — the same
+        ``left_size`` contract as :func:`probe_encoded`.
+        """
+        universe = self._base.universe
+        ext = self._delta.ext_ids
+        ids = []
+        for token in tokens:
+            if token in universe:
+                ids.append(universe.token_id(token))
+            else:
+                known = ext.get(token)
+                if known is not None:
+                    ids.append(known)
+        return tuple(sorted(ids))
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def search(self, value: Any) -> tuple[list[tuple[Any, float]], int]:
+        """Probe one value against base + delta, skipping tombstones.
+
+        Returns ``(matches, n_candidates)``; matches are ``(key, score)``
+        in canonical record order (base positions, then delta insertion
+        order) — the same order a from-scratch rebuild would emit — and
+        scores are bit-identical to the batch join's.
+        """
+        prepared = self._prepare(value)
+        if prepared is None:
+            return [], 0
+        token_set = set(self.tokenizer.tokenize_cached(prepared))
+        with self._lock:
+            return self._search_locked(token_set)
+
+    def _search_locked(self, token_set: set[str]) -> tuple[list[tuple[Any, float]], int]:
+        from repro.simjoin.joins import probe_encoded
+
+        left_ids = self._encode_query(token_set)
+        left_size = len(token_set)
+        base = self._base
+        matches, n_candidates = probe_encoded(
+            left_ids,
+            left_size,
+            base.index,
+            base.enc,
+            base.masks,
+            self._scorer,
+            self._overlap_bound,
+            self.measure,
+            self.threshold,
+            skip=self._base_tombstones or None,
+        )
+        delta = self._delta
+        if delta.enc:
+            started = time.perf_counter()
+            delta_matches, delta_candidates = probe_encoded(
+                left_ids,
+                left_size,
+                delta.postings,
+                delta.enc,
+                delta.masks,
+                self._scorer,
+                self._overlap_bound,
+                self.measure,
+                self.threshold,
+                skip=delta.tombstones or None,
+            )
+            get_registry().histogram("index_delta_probe_seconds").observe(
+                time.perf_counter() - started
+            )
+            matches = matches + delta_matches
+            n_candidates += delta_candidates
+        return matches, n_candidates
+
+    def join_table(self, table: Table, l_key: str, l_column: str) -> Table:
+        """Join a probe table against the live corpus.
+
+        Returns the same ``(_id, l_id, r_id, score)`` table — same rows,
+        same order, same floats — as ``set_sim_join(table, self.to_table(),
+        ...)`` under this index's configuration.  The whole scan runs
+        under the lock, so it sees one consistent snapshot.
+        """
+        from repro.simjoin.joins import _result_table
+
+        table.require_columns([l_key, l_column])
+        view = self._view(table, l_key, l_column)
+        tc = self._store.tokenized_column(view, l_key, l_column, self.tokenizer)
+        rows: list[tuple] = []
+        with self._lock:
+            for row_key, value in tc.records:
+                matches, _ = self._search_locked(tc.token_sets[value])
+                for r_id, score in matches:
+                    rows.append((row_key, r_id, score))
+        return _result_table(rows)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> dict[str, Any]:
+        """Fold the delta into a fresh base segment; returns stats.
+
+        Three phases: snapshot the live records under the lock, rebuild
+        the artifact chain *outside* it (readers keep probing the old
+        segments, writers keep appending), then swap — replaying any
+        operations that raced the rebuild onto the new, empty delta.
+        """
+        with self._lock:
+            if self._compacting:
+                raise ServiceError(f"live index {self.name!r} is already compacting")
+            self._compacting = True
+            records = self._records_locked()
+            ops_mark = len(self._ops)
+        try:
+            table = Table(
+                {
+                    self.key: [row_key for row_key, _ in records],
+                    self.column: [value for _, value in records],
+                }
+            )
+            with trace_span("live_compact", index=self.name, rows=len(records)):
+                base = self._build_base(table)
+        except BaseException:
+            with self._lock:
+                self._compacting = False
+            raise
+        with self._lock:
+            raced = self._ops[ops_mark:]
+            self._base = base
+            self._base_tombstones = set()
+            self._delta = _DeltaSegment(with_masks=base.masks is not None)
+            self._ops = list(raced)
+            for op in raced:
+                self._apply_locked(op)
+            self._compacting = False
+            self._compactions += 1
+            self._generation += 1
+            stats = self._stats_locked()
+        registry = get_registry()
+        registry.counter("index_compactions_total", index=self.name).inc()
+        registry.gauge("index_tombstones", index=self.name).set(stats["tombstones"])
+        return stats
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _records_locked(self) -> list[tuple[Any, str]]:
+        records = [
+            (row_key, value)
+            for position, (row_key, value) in enumerate(self._base.records)
+            if position not in self._base_tombstones
+        ]
+        delta = self._delta
+        records.extend(
+            (row_key, delta.values[position])
+            for position, (row_key, _) in enumerate(delta.enc)
+            if position not in delta.tombstones
+        )
+        return records
+
+    def records(self) -> list[tuple[Any, str]]:
+        """The live ``(key, value)`` records in canonical order."""
+        with self._lock:
+            return self._records_locked()
+
+    def to_table(self) -> Table:
+        """The live records as a fresh table (the rebuild reference)."""
+        records = self.records()
+        return Table(
+            {
+                self.key: [row_key for row_key, _ in records],
+                self.column: [value for _, value in records],
+            }
+        )
+
+    def __contains__(self, row_key: Any) -> bool:
+        with self._lock:
+            if row_key in self._delta.positions:
+                return True
+            position = self._base.positions.get(row_key)
+            return position is not None and position not in self._base_tombstones
+
+    def __len__(self) -> int:
+        with self._lock:
+            live_base = len(self._base.records) - len(self._base_tombstones)
+            return live_base + len(self._delta.positions)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic change counter: bumps on every mutation and compaction."""
+        with self._lock:
+            return self._generation
+
+    def _stats_locked(self) -> dict[str, Any]:
+        delta = self._delta
+        return {
+            "name": self.name,
+            "generation": self._generation,
+            "compactions": self._compactions,
+            "base_rows": len(self._base.records),
+            "delta_rows": len(delta.positions),
+            "tombstones": len(self._base_tombstones) + len(delta.tombstones),
+            "live_rows": len(self._base.records)
+            - len(self._base_tombstones)
+            + len(delta.positions),
+            "universe_size": len(self._base.universe) + len(delta.ext_ids),
+            "delta_bytes": len(pickle.dumps(self._ops, protocol=pickle.HIGHEST_PROTOCOL)),
+            "measure": self.measure,
+            "threshold": self.threshold,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time segment stats (generation, rows, tombstones...)."""
+        with self._lock:
+            return self._stats_locked()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"<LiveIndex {self.name!r} gen={stats['generation']} "
+            f"base={stats['base_rows']} delta={stats['delta_rows']} "
+            f"tombstones={stats['tombstones']}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _directory(self, directory: str | Path | None) -> Path:
+        if directory is not None:
+            return Path(directory)
+        if self._store.cache_dir is None:
+            raise ConfigurationError(
+                "no directory given and the live index's store has no cache_dir"
+            )
+        return self._store.cache_dir
+
+    def save(self, directory: str | Path | None = None) -> Path:
+        """Persist as ``live-<name>.pkl`` plus a JSON manifest.
+
+        The state is the *replayable* form — the base snapshot's records
+        and the op log since the last compaction — so loading rebuilds
+        the base through the store (warm from its disk tier when the
+        artifacts are persisted) and replays the log.
+        """
+        directory = self._directory(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            state = {
+                "format": LIVE_FORMAT_VERSION,
+                "name": self.name,
+                "key": self.key,
+                "column": self.column,
+                "tokenizer": self.tokenizer,
+                "normalize": self._normalize,
+                "measure": self.measure,
+                "threshold": self.threshold,
+                "kernel": self.kernel,
+                "base_records": list(self._base.records),
+                "ops": list(self._ops),
+                "generation": self._generation,
+                "compactions": self._compactions,
+            }
+            manifest = self._stats_locked()
+        path = directory / f"live-{self.name}.pkl"
+        atomic_write_bytes(path, pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+        atomic_write_bytes(
+            directory / f"live-{self.name}.json",
+            (json.dumps(manifest, indent=2, default=str) + "\n").encode("utf-8"),
+        )
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        name: str,
+        store: IndexStore | None = None,
+        directory: str | Path | None = None,
+    ) -> "LiveIndex":
+        """Restore a persisted live index (see :meth:`save`)."""
+        store = store if store is not None else get_index_store()
+        if directory is None:
+            if store.cache_dir is None:
+                raise ConfigurationError(
+                    "no directory given and the store has no cache_dir"
+                )
+            directory = store.cache_dir
+        path = Path(directory) / f"live-{name}.pkl"
+        try:
+            state = pickle.loads(path.read_bytes())
+            if state["format"] != LIVE_FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"live index {name!r} uses format {state['format']}, "
+                    f"expected {LIVE_FORMAT_VERSION}"
+                )
+        except ConfigurationError:
+            raise
+        except Exception as exc:
+            raise ConfigurationError(f"cannot load live index from {path}: {exc}") from exc
+        base_table = Table(
+            {
+                state["key"]: [row_key for row_key, _ in state["base_records"]],
+                state["column"]: [value for _, value in state["base_records"]],
+            }
+        )
+        live = cls(
+            state["key"],
+            state["column"],
+            tokenizer=state["tokenizer"],
+            measure=state["measure"],
+            threshold=state["threshold"],
+            kernel=state["kernel"],
+            normalize=state["normalize"],
+            store=store,
+            name=state["name"],
+            base_table=base_table,
+        )
+        with live._lock:
+            for op in state["ops"]:
+                live._apply_locked(op)
+            live._ops = list(state["ops"])
+            live._generation = state["generation"]
+            live._compactions = state["compactions"]
+        return live
+
+
+def list_live_indexes(directory: str | Path) -> list[dict[str, Any]]:
+    """The persisted live-index manifests under a cache directory."""
+    directory = Path(directory)
+    manifests: list[dict[str, Any]] = []
+    if not directory.exists():
+        return manifests
+    for path in sorted(directory.glob("live-*.json")):
+        try:
+            manifests.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):
+            continue
+    return manifests

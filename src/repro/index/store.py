@@ -134,11 +134,16 @@ class IndexStore:
     guarded by an ``RLock``, so concurrent probes — the long-lived
     :mod:`repro.serve` workers hammer one shared store from many threads
     — can never corrupt the eviction order or crash in
-    ``move_to_end``/``popitem``.  Artifact *builds* run outside the lock:
-    two threads missing on the same digest may both build it (the results
-    are identical by construction; the second ``_remember`` wins), which
-    trades a little duplicate warm-up work for never serializing builds
-    of unrelated artifacts behind one another.
+    ``move_to_end``/``popitem``.  Artifact *builds* run outside that
+    lock, deduplicated by a per-digest build lock: when two threads miss
+    on the same digest, one builds while the other waits, then takes the
+    result from the memory tier — each digest builds exactly once (one
+    ``index_builds_total`` increment; the loser counts a memory reuse),
+    while builds of *unrelated* artifacts never serialize behind one
+    another.  Nested builds (``gram_index`` -> ``gram_bags``,
+    ``tokenized_column`` -> ``_records``) take distinct digest locks and
+    the dependency graph is acyclic, so the per-digest locks cannot
+    deadlock.
     """
 
     def __init__(self, cache_dir: str | Path | None = None, max_entries: int = 256):
@@ -148,6 +153,9 @@ class IndexStore:
         # RLock: accessor builds nest (`gram_index` -> `gram_bags`,
         # `tokenized_column` -> `_records`), so a thread can re-enter.
         self._lock = threading.RLock()
+        # digest -> plain Lock serializing concurrent builds of that one
+        # artifact; entries are created and discarded under `self._lock`.
+        self._building: dict[str, threading.Lock] = {}
 
     # ------------------------------------------------------------------
     # Cache machinery
@@ -162,7 +170,7 @@ class IndexStore:
             while len(self._memory) > self.max_entries:
                 self._memory.popitem(last=False)
 
-    def _get(self, kind: str, digest: str, build, persist: bool = True) -> Any:
+    def _lookup_memory(self, kind: str, digest: str) -> Any:
         registry = get_registry()
         with self._lock:
             artifact = self._memory.get(digest)
@@ -170,37 +178,62 @@ class IndexStore:
                 self._memory.move_to_end(digest)
         if artifact is not None:
             registry.counter("index_reuses_total", kind=kind, tier="memory").inc()
-            return artifact
-        if persist and self.cache_dir is not None:
-            path = self._path(kind, digest)
-            if path.exists():
-                try:
-                    with path.open("rb") as handle:
-                        artifact = pickle.load(handle)
-                except Exception:
-                    # Truncated/corrupt cache files fall back to a rebuild.
-                    registry.counter("index_disk_errors_total", kind=kind).inc()
-                    artifact = None
-                if artifact is not None:
-                    self._remember(digest, artifact)
-                    registry.counter(
-                        "index_reuses_total", kind=kind, tier="disk"
-                    ).inc()
-                    return artifact
-        started = time.perf_counter()
-        artifact = build()
-        registry.counter("index_builds_total", kind=kind).inc()
-        registry.histogram("index_build_seconds", kind=kind).observe(
-            time.perf_counter() - started
-        )
-        self._remember(digest, artifact)
-        if persist and self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            atomic_write_bytes(
-                self._path(kind, digest),
-                pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL),
-            )
         return artifact
+
+    def _get(self, kind: str, digest: str, build, persist: bool = True) -> Any:
+        registry = get_registry()
+        artifact = self._lookup_memory(kind, digest)
+        if artifact is not None:
+            return artifact
+        # Per-digest build lock: the first thread to miss becomes the
+        # builder; later threads block here, then find the artifact in
+        # the memory tier.  Each digest is built (and counted) once.
+        with self._lock:
+            build_lock = self._building.get(digest)
+            if build_lock is None:
+                build_lock = self._building[digest] = threading.Lock()
+        try:
+            with build_lock:
+                artifact = self._lookup_memory(kind, digest)
+                if artifact is not None:
+                    return artifact
+                if persist and self.cache_dir is not None:
+                    path = self._path(kind, digest)
+                    if path.exists():
+                        try:
+                            with path.open("rb") as handle:
+                                artifact = pickle.load(handle)
+                        except Exception:
+                            # Truncated/corrupt cache files fall back to a
+                            # rebuild (and the rebuilt artifact is persisted
+                            # below, replacing the bad file).
+                            registry.counter(
+                                "index_disk_errors_total", kind=kind
+                            ).inc()
+                            artifact = None
+                        if artifact is not None:
+                            self._remember(digest, artifact)
+                            registry.counter(
+                                "index_reuses_total", kind=kind, tier="disk"
+                            ).inc()
+                            return artifact
+                started = time.perf_counter()
+                artifact = build()
+                registry.counter("index_builds_total", kind=kind).inc()
+                registry.histogram("index_build_seconds", kind=kind).observe(
+                    time.perf_counter() - started
+                )
+                self._remember(digest, artifact)
+                if persist and self.cache_dir is not None:
+                    self.cache_dir.mkdir(parents=True, exist_ok=True)
+                    atomic_write_bytes(
+                        self._path(kind, digest),
+                        pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL),
+                    )
+                return artifact
+        finally:
+            with self._lock:
+                self._building.pop(digest, None)
 
     # ------------------------------------------------------------------
     # Artifact accessors (the join/blocker building blocks)
@@ -348,22 +381,35 @@ class IndexStore:
             return len(self._memory)
 
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        """Drop the memory tier (and the disk tier with ``disk=True``).
+
+        The disk sweep also removes persisted live-index segments
+        (``live-*.pkl`` and their ``live-*.json`` manifests, written by
+        :meth:`repro.index.delta.LiveIndex.save`).
+        """
         with self._lock:
             self._memory.clear()
         if disk and self.cache_dir is not None and self.cache_dir.exists():
-            for path in self.cache_dir.glob("*.pkl"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "live-*.json"):
+                for path in self.cache_dir.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def disk_artifacts(self) -> list[dict[str, Any]]:
-        """One row per persisted artifact: kind, digest, size in bytes."""
+        """One row per persisted artifact: kind, digest, size in bytes.
+
+        Live-index segments (``live-*``) are not fingerprinted artifacts
+        and are listed by :func:`repro.index.delta.list_live_indexes`
+        instead.
+        """
         rows: list[dict[str, Any]] = []
         if self.cache_dir is None or not self.cache_dir.exists():
             return rows
         for path in sorted(self.cache_dir.glob("*.pkl")):
+            if path.name.startswith("live-"):
+                continue
             kind, _, digest = path.stem.partition("-")
             rows.append(
                 {

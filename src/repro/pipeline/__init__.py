@@ -15,12 +15,16 @@ from repro.pipeline.production import (
     parallel_map_partitions,
     partition_table,
 )
+from repro.pipeline.streaming import StreamingDeduper, StreamMatch, UnionFind
 from repro.pipeline.workflow import MagellanWorkflow, StepRecord, WorkflowStep
 
 __all__ = [
     "BatchResult",
     "CheckpointedRun",
     "IncrementalMatcher",
+    "StreamingDeduper",
+    "StreamMatch",
+    "UnionFind",
     "Command",
     "DEVELOPMENT_GUIDE",
     "GuideStep",

@@ -1,16 +1,25 @@
-"""The resident match server: point queries against an indexed corpus.
+"""The resident match server: point queries against a live corpus index.
 
 A :class:`MatchServer` is the online half of the batch substrate.  At
-startup it loads the :class:`repro.index.IndexStore` artifact chain for
-one corpus column — records → token sets → a corpus
+startup it builds a :class:`repro.index.LiveIndex` over one corpus
+column — the base segment is the :class:`repro.index.IndexStore`
+artifact chain (records → token sets → a corpus
 :class:`~repro.perf.tokens.TokenUniverse` → prefix postings and
-verification masks — exactly once, then answers ``match(entity)`` point
-queries for as long as the process lives.  Queries are tokenized,
-encoded against the corpus universe (out-of-vocabulary tokens are
-dropped losslessly; see :meth:`TokenUniverse.encode_known`), and probed
-through :func:`repro.simjoin.probe_encoded` — the same filter-verify
-kernel the batch join runs — so a served result is byte-identical to the
-matching rows of ``set_sim_join(queries, corpus, ...)``.
+verification masks), built exactly once and shared by fingerprint with
+any batch join over the same content — then answers ``match(entity)``
+point queries for as long as the process lives.  Queries are tokenized,
+encoded against the live token ordering (out-of-vocabulary tokens are
+dropped losslessly), and probed through
+:func:`repro.simjoin.probe_encoded` — the same filter-verify kernel the
+batch join runs — so a served result is byte-identical to the matching
+rows of ``set_sim_join(queries, corpus, ...)``.
+
+Because the index is live, the corpus is no longer frozen at startup:
+:meth:`MatchServer.upsert` and :meth:`MatchServer.delete` mutate the
+delta segment, every query admitted afterwards sees the change, and
+:meth:`MatchServer.compact` folds the delta into a fresh base without
+blocking readers (the rebuild runs outside the index lock; see
+:mod:`repro.index.delta`).
 
 Request flow, modeled on the cloud metamanager's engine/queue scheduler
 (:mod:`repro.cloud.engines`) translated from simulated to wall-clock
@@ -48,12 +57,11 @@ from repro.exceptions import (
     QuotaExceededError,
     ServiceError,
 )
+from repro.index.delta import LiveIndex
 from repro.index.store import IndexStore, get_index_store
 from repro.obs import get_registry, trace_span
-from repro.perf.kernels import MASK_UNIVERSE_MAX, make_overlap_bound, make_scorer
 from repro.simjoin.filters import validate_measure
-from repro.simjoin.joins import KERNELS, probe_encoded
-from repro.table.schema import is_missing
+from repro.simjoin.joins import KERNELS
 from repro.table.table import Table
 from repro.text.tokenizers import Tokenizer, WhitespaceTokenizer
 
@@ -183,8 +191,6 @@ class MatchServer:
         )
         self._measure = measure
         self._store = store if store is not None else get_index_store()
-        self._scorer = make_scorer(measure)
-        self._overlap_bound = make_overlap_bound(measure, threshold)
 
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -193,10 +199,7 @@ class MatchServer:
         self._threads: list[threading.Thread] = []
         self._running = False
         self._stopping = False
-        self._universe = None
-        self._right_enc = None
-        self._index = None
-        self._right_masks = None
+        self._live: LiveIndex | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -220,26 +223,25 @@ class MatchServer:
         return self
 
     def _load_artifacts(self) -> None:
-        """Build or reuse the IndexStore artifact chain for the corpus.
+        """Build the live index whose base segment covers the corpus.
 
-        The corpus is self-paired: ``pair_encoding(tc, tc)`` doubles
-        every token frequency, which preserves the frequency-then-lexical
-        ranking, so the universe orders tokens exactly as a corpus-only
-        count would — and a batch self-join over the same corpus shares
-        these artifacts byte-for-byte.
+        The base artifacts come from the shared :class:`IndexStore`
+        chain (the corpus self-paired through ``pair_encoding(tc, tc)``,
+        which preserves the frequency-then-lexical ranking), so a batch
+        self-join over the same corpus content shares them
+        byte-for-byte.
         """
-        store = self._store
-        tc = store.tokenized_column(self.corpus, self.key, self.column, self.tokenizer)
-        encoding = store.pair_encoding(tc, tc)
-        self._universe = encoding.universe
-        self._right_enc = encoding.right
-        self._index = store.prefix_index(
-            encoding, self._measure, self.config.threshold
-        ).index
-        use_masks = self.config.kernel == "mask" or (
-            self.config.kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
+        self._live = LiveIndex.from_table(
+            self.corpus,
+            self.key,
+            self.column,
+            tokenizer=self.tokenizer,
+            measure=self._measure,
+            threshold=self.config.threshold,
+            kernel=self.config.kernel,
+            store=self._store,
+            name=f"serve-{self.column}",
         )
-        self._right_masks = store.right_masks(encoding) if use_masks else None
 
     def stop(self) -> None:
         """Drain the queue, stop the workers, and refuse new requests."""
@@ -401,29 +403,52 @@ class MatchServer:
         self, value: Any, top_k: int | None
     ) -> tuple[list[tuple[Any, float]], int]:
         """One point query through the shared filter-verify kernel."""
-        if is_missing(value):
-            return [], 0
-        token_set = set(self.tokenizer.tokenize_cached(str(value)))
-        left_ids = self._universe.encode_known(token_set)
-        matches, n_candidates = probe_encoded(
-            left_ids,
-            len(token_set),
-            self._index,
-            self._right_enc,
-            self._right_masks,
-            self._scorer,
-            self._overlap_bound,
-            self._measure,
-            self.config.threshold,
-        )
+        matches, n_candidates = self._live.search(value)
         get_registry().counter("serve_candidates_total").inc(n_candidates)
-        # probe_encoded emits survivors in corpus-position order; a
+        # The live index emits survivors in canonical record order; a
         # stable sort on descending score keeps that order among ties,
         # so the ranking is fully deterministic.
         ranked = sorted(matches, key=lambda pair: -pair[1])
         if top_k is not None:
             ranked = ranked[:top_k]
         return ranked, n_candidates
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    def upsert(self, row_key: Any, value: Any, tenant: str = "default") -> bool:
+        """Insert or replace one corpus record in the live index.
+
+        Every query admitted after this call returns sees the new
+        record — no restart, no rebuild.  Returns whether the record was
+        indexed (a missing value degenerates to a delete).
+        """
+        registry = get_registry()
+        with self._lock:
+            if not self._running or self._stopping:
+                raise ServiceError("MatchServer is not running")
+        registry.counter("serve_upserts_total", tenant=tenant).inc()
+        return self._live.upsert(row_key, value)
+
+    def delete(self, row_key: Any, tenant: str = "default") -> bool:
+        """Tombstone one corpus record; returns whether it was present."""
+        registry = get_registry()
+        with self._lock:
+            if not self._running or self._stopping:
+                raise ServiceError("MatchServer is not running")
+        registry.counter("serve_deletes_total", tenant=tenant).inc()
+        return self._live.delete(row_key)
+
+    def compact(self) -> dict[str, Any]:
+        """Fold the live index's delta into a new base segment.
+
+        The expensive rebuild runs outside the index lock, so queries
+        (and further upserts) proceed concurrently; only the final swap
+        synchronizes.  Returns the post-compaction index stats.
+        """
+        if self._live is None:
+            raise ServiceError("MatchServer has not been started")
+        return self._live.compact()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -445,12 +470,17 @@ class MatchServer:
             for (name, _), value in registry.counters().items()
             if name == "serve_requests_total"
         )
+        index_stats = self._live.stats() if self._live is not None else {}
         return {
             "running": self._running,
             "queue_depth": queue_depth,
             "inflight": inflight,
-            "corpus_rows": len(self._right_enc) if self._right_enc is not None else 0,
-            "universe_size": len(self._universe) if self._universe is not None else 0,
+            "corpus_rows": index_stats.get("live_rows", 0),
+            "universe_size": index_stats.get("universe_size", 0),
+            "generation": index_stats.get("generation", 0),
+            "delta_rows": index_stats.get("delta_rows", 0),
+            "tombstones": index_stats.get("tombstones", 0),
+            "compactions": index_stats.get("compactions", 0),
             "requests_total": requests,
             "rejections_total": rejections,
             "latency_p50_s": latency.quantile(0.5),

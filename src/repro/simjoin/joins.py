@@ -114,22 +114,28 @@ def probe_encoded(
     measure: str,
     threshold: float,
     use_prefix_filter: bool = True,
+    skip: set[int] | None = None,
 ) -> tuple[list[tuple], int]:
     """Filter-verify one encoded probe record against a prefix index.
 
     The single-record core of :func:`set_sim_join`, shared with the
     online serving path (:mod:`repro.serve`), which probes one query at a
     time against a resident corpus index — sharing the code is what makes
-    served results byte-identical to the batch join.
+    served results byte-identical to the batch join — and with the
+    live-index read path (:mod:`repro.index.delta`), which probes a base
+    and a delta segment through the same bounds math.
 
     ``left_ids`` is the record's sorted token ids; ``left_size`` is its
     *true* distinct-token count, which can exceed ``len(left_ids)`` when
     a serving query holds tokens outside the corpus universe (those
     tokens can never overlap the corpus, so dropping them from the probe
     is lossless while the size still enters every bound and score).
-    Verification uses the bitmask kernel when ``right_masks`` is given,
-    the bounded merge scan otherwise.  Returns the ``(r_id, score)``
-    survivors in right-position order plus the candidate count.
+    ``skip`` is an optional set of right *positions* to exclude — the
+    live index's tombstones; excluded positions are dropped before
+    verification and never counted as candidates.  Verification uses the
+    bitmask kernel when ``right_masks`` is given, the bounded merge scan
+    otherwise.  Returns the ``(r_id, score)`` survivors in
+    right-position order plus the candidate count.
     """
     if not left_size:
         return [], 0
@@ -149,6 +155,8 @@ def probe_encoded(
             continue
         sizes, positions = entry
         collect(positions[bisect_left(sizes, lower) : bisect_right(sizes, upper)])
+    if skip:
+        candidates.difference_update(skip)
     if not candidates:
         return [], 0
     results: list[tuple] = []

@@ -222,3 +222,61 @@ class TestServe:
         }
         assert "serve_requests_total" in names
         assert "serve_request_seconds" in names
+
+
+class TestIndexCli:
+    @pytest.fixture
+    def live_cache(self, tmp_path):
+        from repro.index import IndexStore, LiveIndex
+
+        corpus = Table(
+            {
+                "id": ["b1", "b2", "b3"],
+                "name": ["dave smith", "dave smith jr", "ann chen"],
+            }
+        )
+        cache_dir = tmp_path / "cache"
+        store = IndexStore(cache_dir=cache_dir)
+        live = LiveIndex.from_table(
+            corpus, "id", "name", threshold=0.4, store=store, name="corpus-name"
+        )
+        live.upsert("b4", "dave m smith")
+        live.delete("b3")
+        live.save()
+        return cache_dir
+
+    def test_inspect_reports_delta_state(self, live_cache, capsys):
+        assert main(["index", "inspect", "--cache-dir", str(live_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "live index" in out
+        assert "corpus-name" in out
+        assert "tombstones" in out
+        # Fingerprinted base artifacts are listed too.
+        assert "records" in out and "prefix" in out
+
+    def test_compact_folds_and_resaves(self, live_cache, capsys):
+        from repro.index import list_live_indexes
+
+        assert main(["index", "compact", "--cache-dir", str(live_cache)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted 'corpus-name'" in out
+        [manifest] = list_live_indexes(live_cache)
+        assert manifest["delta_rows"] == 0
+        assert manifest["tombstones"] == 0
+        assert manifest["compactions"] == 1
+        assert manifest["live_rows"] == 3
+
+    def test_compact_without_live_indexes_errors(self, tmp_path, capsys):
+        assert main(["index", "compact", "--cache-dir", str(tmp_path)]) == 1
+        assert "no live indexes" in capsys.readouterr().out
+
+    def test_compacted_index_still_answers(self, live_cache):
+        from repro.index import IndexStore, LiveIndex
+
+        main(["index", "compact", "--cache-dir", str(live_cache)])
+        loaded = LiveIndex.load(
+            "corpus-name", store=IndexStore(cache_dir=live_cache)
+        )
+        matches, _ = loaded.search("dave smith")
+        assert [key for key, _ in matches] == ["b1", "b2", "b4"]
+        assert "b3" not in loaded

@@ -209,6 +209,16 @@ class TestPersistence:
             assert counter_total(registry, "index_disk_errors_total") > 0
             assert counter_total(registry, "index_builds_total") > 0
         assert columns_of(warm) == columns_of(cold)
+        # Every corrupt file was rewritten by its fallback rebuild: a
+        # third run starts fully warm from disk, building nothing.
+        for path in tmp_path.glob("*.pkl"):
+            with path.open("rb") as handle:
+                pickle.load(handle)
+        with use_registry() as registry:
+            with use_index_store(IndexStore(cache_dir=tmp_path)):
+                jaccard_join(ltable, rtable)
+            assert counter_total(registry, "index_builds_total") == 0
+            assert counter_total(registry, "index_disk_errors_total") == 0
 
     def test_truncated_cache_file_falls_back_to_rebuild(self, tmp_path):
         table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
@@ -380,27 +390,74 @@ class TestThreadSafety:
         assert not errors, errors
         assert len(store) <= 8
 
-    def test_concurrent_misses_converge_to_one_entry(self):
+    def test_concurrent_misses_build_exactly_once(self):
+        """8 threads missing the same digest: the per-digest build lock
+        elects one builder; everyone else takes the result from the
+        memory tier.  One build, one ``index_builds_total`` increment,
+        one shared artifact object."""
         import threading
 
         store = IndexStore(max_entries=4)
         barrier = threading.Barrier(8)
         results: list = []
+        build_calls: list[int] = []
 
         def build():
+            build_calls.append(1)
             return ["artifact"]
 
         def probe() -> None:
             barrier.wait()
             results.append(store._get("records", "same-digest", build, persist=False))
 
-        with use_registry():
+        with use_registry() as registry:
             threads = [threading.Thread(target=probe) for _ in range(8)]
             for thread in threads:
                 thread.start()
             for thread in threads:
                 thread.join()
-        # Duplicate builds are allowed (they race outside the lock) but
-        # every caller got a correct artifact and the tier holds one entry.
-        assert all(result == ["artifact"] for result in results)
+            assert counter_total(registry, "index_builds_total", kind="records") == 1
+            assert counter_total(registry, "index_reuses_total", kind="records") == 7
+        assert len(build_calls) == 1
+        assert all(result is results[0] for result in results)
         assert len(store) == 1
+        # The build-lock table does not leak entries.
+        assert store._building == {}
+
+    def test_build_lock_does_not_serialize_distinct_digests(self):
+        """Builds of unrelated artifacts overlap: a slow build of one
+        digest must not make another digest's build wait behind it."""
+        import threading
+
+        store = IndexStore(max_entries=8)
+        slow_started = threading.Event()
+        release_slow = threading.Event()
+        fast_done = threading.Event()
+
+        def slow_build():
+            slow_started.set()
+            release_slow.wait(5)
+            return ["slow"]
+
+        def fast_build():
+            fast_done.set()
+            return ["fast"]
+
+        with use_registry():
+            slow_thread = threading.Thread(
+                target=store._get, args=("records", "slow-digest", slow_build),
+                kwargs={"persist": False},
+            )
+            slow_thread.start()
+            assert slow_started.wait(5)
+            fast_thread = threading.Thread(
+                target=store._get, args=("records", "fast-digest", fast_build),
+                kwargs={"persist": False},
+            )
+            fast_thread.start()
+            # The fast build completes while the slow one is still held.
+            assert fast_done.wait(5)
+            release_slow.set()
+            slow_thread.join(5)
+            fast_thread.join(5)
+        assert len(store) == 2

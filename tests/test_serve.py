@@ -4,12 +4,14 @@ The load-bearing assertion is batch/online equivalence: every query
 served by a :class:`MatchServer` — serially or from many concurrent
 threads across tenants — returns candidates byte-identical (same ids,
 same float scores, same order) to the corresponding rows of the batch
-``set_sim_join`` over the same corpus.  The rest covers the scheduler:
-micro-batching, per-tenant quotas, queue-depth backpressure, and the
-metrics the server reports.
+``set_sim_join`` over the same corpus.  The rest covers the scheduler
+(micro-batching, per-tenant quotas, queue-depth backpressure, metrics)
+and the live-index surface: upserts/deletes visible to the very next
+query, compaction that never blocks serving.
 """
 
 import random
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -20,7 +22,7 @@ from repro.exceptions import (
     QuotaExceededError,
     ServiceError,
 )
-from repro.index import IndexStore, use_index_store
+from repro.index import IndexStore, LiveIndex, use_index_store
 from repro.obs import use_registry
 from repro.serve import MatchServer, ServeConfig
 from repro.simjoin import set_sim_join
@@ -298,3 +300,124 @@ class TestWarmStart:
         # Warmup found every artifact (records/tokens/encoding/prefix/
         # masks) already in the store: the batch join built them.
         assert builds_after == builds_before
+
+
+class TestLiveMutation:
+    def test_upsert_visible_to_next_query(self):
+        corpus = make_corpus(50)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4, top_k=None)
+            with MatchServer(corpus, "id", "v", config=config) as server:
+                before = server.match("zelda zimmerman").candidates
+                assert before == []
+                assert server.upsert("z1", "zelda zimmerman") is True
+                after = server.match("zelda zimmerman").candidates
+                assert after == [("z1", 1.0)]
+
+    def test_upsert_equals_restarted_server(self):
+        # A query after N upserts answers exactly like a server freshly
+        # started over the grown corpus.
+        corpus = make_corpus(80)
+        queries = make_queries(15)
+        extra = [(f"n{i}", f"dave smith {i}") for i in range(10)]
+        tokenizer = WhitespaceTokenizer(return_set=True)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4, top_k=None)
+            with MatchServer(corpus, "id", "v", tokenizer=tokenizer, config=config) as live:
+                for key, value in extra:
+                    live.upsert(key, value)
+                live.delete("b0")
+                served = [live.match(q).candidates for q in queries]
+            grown = Table(
+                {
+                    "id": corpus.column("id")[1:] + [k for k, _ in extra],
+                    "v": corpus.column("v")[1:] + [v for _, v in extra],
+                }
+            )
+            with use_index_store():
+                with MatchServer(
+                    grown, "id", "v", tokenizer=tokenizer, config=config
+                ) as fresh:
+                    expected = [fresh.match(q).candidates for q in queries]
+        assert served == expected
+
+    def test_delete_removes_from_results(self):
+        corpus = make_corpus(50)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4, top_k=None)
+            with MatchServer(corpus, "id", "v", config=config) as server:
+                hits = server.match(corpus.column("v")[0]).candidates
+                assert any(key == "b0" for key, _ in hits)
+                assert server.delete("b0") is True
+                hits = server.match(corpus.column("v")[0]).candidates
+                assert not any(key == "b0" for key, _ in hits)
+
+    def test_mutation_requires_running_server(self):
+        corpus = make_corpus(10)
+        with use_registry(), use_index_store():
+            server = MatchServer(corpus, "id", "v", config=ServeConfig(threshold=0.4))
+            with pytest.raises(ServiceError):
+                server.upsert("x", "dave smith")
+            with pytest.raises(ServiceError):
+                server.delete("b0")
+            with pytest.raises(ServiceError):
+                server.compact()
+
+    def test_stats_reports_live_index_state(self):
+        corpus = make_corpus(30)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4)
+            with MatchServer(corpus, "id", "v", config=config) as server:
+                server.upsert("n1", "dave smith")
+                server.upsert("n2", "ann chen")
+                server.delete("b0")
+                stats = server.stats()
+                assert stats["corpus_rows"] == 31
+                assert stats["delta_rows"] == 2
+                assert stats["tombstones"] == 1
+                assert stats["generation"] == 3
+                server.compact()
+                stats = server.stats()
+                assert stats["compactions"] == 1
+                assert stats["delta_rows"] == 0
+                assert stats["tombstones"] == 0
+
+    def test_queries_served_during_compaction(self):
+        """Compaction's rebuild must not block the serving path: queries
+        issued while the rebuild is parked return correct, current
+        results, and an upsert racing the compaction survives the swap."""
+        corpus = make_corpus(60)
+        with use_registry(), use_index_store():
+            config = ServeConfig(threshold=0.4, top_k=None)
+            with MatchServer(corpus, "id", "v", config=config) as server:
+                server.upsert("z1", "zelda zimmerman")
+                expected = server.match("zelda zimmerman").candidates
+                in_build = threading.Event()
+                release = threading.Event()
+                original = LiveIndex._build_base
+
+                def slow_build(self, table):
+                    segment = original(self, table)
+                    in_build.set()
+                    release.wait(5)
+                    return segment
+
+                LiveIndex._build_base = slow_build
+                try:
+                    compactor = threading.Thread(target=server.compact)
+                    compactor.start()
+                    assert in_build.wait(5)
+                    # Mid-compaction: queries answer from the old
+                    # segments, and mutations still land.
+                    assert server.match("zelda zimmerman").candidates == expected
+                    server.upsert("z2", "zelda q zimmerman")
+                    mid = server.match("zelda zimmerman").candidates
+                    assert [key for key, _ in mid] == ["z1", "z2"]
+                finally:
+                    release.set()
+                    compactor.join(10)
+                    LiveIndex._build_base = original
+                # After the swap: both records present, compaction counted.
+                after = server.match("zelda zimmerman").candidates
+                assert [key for key, _ in after] == [key for key, _ in mid]
+                assert server.stats()["compactions"] == 1
