@@ -23,6 +23,7 @@ from repro.blocking.rules import (
     parse_rule,
 )
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocker
+from repro.blocking.vector import VectorBlocker
 
 __all__ = [
     "AttrEquivalenceBlocker",
@@ -36,6 +37,7 @@ __all__ = [
     "Predicate",
     "RuleBasedBlocker",
     "SortedNeighborhoodBlocker",
+    "VectorBlocker",
     "blocking_recall",
     "candset_difference",
     "candset_intersection",

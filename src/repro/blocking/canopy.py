@@ -63,6 +63,9 @@ class CanopyBlocker(Blocker):
         self.loose = loose
         self.tight = tight
         self.seed = seed
+        # One tokenizer for the whole blocker: `_tokens` runs once per
+        # row, and the tokenizer's memo only pays off when shared.
+        self._tokenizer = WhitespaceTokenizer(return_set=True)
 
     def block_tuples(self, l_row: Row, r_row: Row) -> bool:
         raise NotImplementedError(
@@ -70,12 +73,13 @@ class CanopyBlocker(Blocker):
         )
 
     def _tokens(self, row: Row, attrs: list[str]) -> frozenset[str]:
-        tokenizer = WhitespaceTokenizer(return_set=True)
         tokens: set[str] = set()
         for attr in attrs:
             value = row.get(attr)
             if not is_missing(value):
-                tokens.update(t.lower() for t in tokenizer.tokenize(str(value)))
+                tokens.update(
+                    t.lower() for t in self._tokenizer.tokenize(str(value))
+                )
         return frozenset(tokens)
 
     def block_tables(
@@ -98,6 +102,17 @@ class CanopyBlocker(Blocker):
             attrs = self.attrs
             ltable.require_columns(attrs)
             rtable.require_columns(attrs)
+        if not attrs:
+            # Without a single measured attribute every record's token
+            # set is empty, every canopy is a singleton, and the blocker
+            # silently returns zero pairs — a misconfiguration, not a
+            # legitimate empty result.
+            raise ConfigurationError(
+                "canopy blocking has no attributes to measure: the two "
+                "tables share no non-key attributes (pass attrs= explicitly)"
+                if self.attrs is None
+                else "canopy blocking needs at least one attribute, got attrs=[]"
+            )
 
         # Side-tagged records: ('l'|'r', key value, token set).
         records: list[tuple[str, Any, frozenset[str]]] = []

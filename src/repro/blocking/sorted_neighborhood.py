@@ -22,9 +22,16 @@ class SortedNeighborhoodBlocker(Blocker):
     """Windowed blocking over a sorted merge of the two tables.
 
     ``sort_key`` maps a row to its sorting value (default: the blocking
-    attribute's lowercased string).  Rows with missing sort values are
-    dropped.  Note: this blocker is inherently table-level; per-pair
-    ``block_tuples`` is undefined and raises.
+    attribute's lowercased string).
+
+    Drop semantics (explicit, not incidental): rows whose blocking
+    attribute is missing are removed *before* sorting — they occupy no
+    window slot, never pair with anything, and do not widen anyone
+    else's neighborhood.  When every row is missing the candidate set is
+    therefore empty.  A ``window`` at least as large as the merged
+    non-missing row count degrades to the full cross product of the
+    surviving rows.  Note: this blocker is inherently table-level;
+    per-pair ``block_tuples`` is undefined and raises.
     """
 
     # Whether a pair survives depends on the whole sorted order, not on
@@ -73,15 +80,31 @@ class SortedNeighborhoodBlocker(Blocker):
         entries.sort(key=lambda entry: (entry[0], entry[1]))
 
         pairs: set[tuple[Any, Any]] = set()
-        for i, (_, side, key_value) in enumerate(entries):
-            for j in range(i + 1, min(i + self.window, len(entries))):
-                _, other_side, other_key = entries[j]
-                if side == other_side:
-                    continue
-                if side == "l":
-                    pairs.add((key_value, other_key))
-                else:
-                    pairs.add((other_key, key_value))
+        if not entries:
+            # All sort values missing on both sides: every row was
+            # dropped (see the class docstring), so nothing can pair.
+            observe_blocking(self, 0)
+            return make_candset(
+                [], ltable, rtable, l_key, r_key,
+                l_output_attrs, r_output_attrs, catalog,
+            )
+        if self.window >= len(entries):
+            # The window covers the whole merged table: explicitly the
+            # full cross product of the surviving (non-missing) rows,
+            # rather than trusting the slice below to clamp.
+            l_ids = [key for _, side, key in entries if side == "l"]
+            r_ids = [key for _, side, key in entries if side == "r"]
+            pairs = {(l_id, r_id) for l_id in l_ids for r_id in r_ids}
+        else:
+            for i, (_, side, key_value) in enumerate(entries):
+                for j in range(i + 1, min(i + self.window, len(entries))):
+                    _, other_side, other_key = entries[j]
+                    if side == other_side:
+                        continue
+                    if side == "l":
+                        pairs.add((key_value, other_key))
+                    else:
+                        pairs.add((other_key, key_value))
         observe_blocking(self, len(pairs))
         return make_candset(
             sorted(pairs), ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog

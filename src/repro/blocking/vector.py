@@ -1,0 +1,260 @@
+"""Vector blocker: embedding + approximate-NN retrieval behind the Blocker API.
+
+The last blocking paradigm the substrate was missing.  Token-overlap
+blockers (:class:`~repro.blocking.overlap.OverlapBlocker`, the rule
+executors) need the two sides to *share surface tokens*; on dirty data —
+typos, abbreviations, dropped or reordered tokens — the shared-token
+assumption is exactly what breaks.  BlockingPy/AutoBlock-style vector
+blocking sidesteps it: embed every record as a hashed character-n-gram
+(optionally TF-IDF-weighted) vector (:mod:`repro.text.vectorize`),
+index one side in a banded-LSH approximate-NN structure
+(:mod:`repro.index.ann`), and retrieve each left record's near
+neighbours under cosine similarity at a controllable candidate budget
+(``top_k``).
+
+Everything expensive is an :class:`repro.index.IndexStore` artifact
+(kinds ``vectors`` -> ``vecpair`` -> ``ann``), so embeddings and the ANN
+index are built once per content fingerprint, shared across calls, and
+warm-reloaded from the disk tier with byte-identical probe results.
+
+Approximation contract: retrieval is *approximate* — ``block_tables``
+returns a subset of the exact cosine-threshold join (LSH can miss
+pairs), which is the usual blocking trade: recall is measured against
+candidate-set size in ``benchmarks/bench_vector_blocking.py``.
+``block_candset`` filtering, by contrast, is exact: every surviving
+input pair is scored with the true cosine.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from typing import Any
+
+from repro.blocking.base import CANDSET_ID, Blocker, make_candset, observe_blocking
+from repro.catalog.catalog import Catalog, get_catalog
+from repro.catalog.checks import validate_candset
+from repro.exceptions import ConfigurationError
+from repro.index.store import IndexStore, get_index_store
+from repro.obs import get_registry
+from repro.table.schema import is_missing
+from repro.table.table import Row, Table
+from repro.text.vectorize import HashedNgramVectorizer, cosine
+
+
+class VectorBlocker(Blocker):
+    """Keep pairs whose hashed-n-gram embeddings are cosine-similar.
+
+    Parameters
+    ----------
+    l_block_attr, r_block_attr:
+        The attribute embedded on each side (right defaults to left).
+    threshold:
+        Cosine similarity a pair must reach, in ``(0, 1]``.
+    top_k:
+        Optional per-left-record candidate budget: keep at most the
+        ``top_k`` best-scoring right records.  This is the knob that
+        bounds candidate-set size independently of the threshold.
+    q, dim:
+        Character n-gram size and hashing-trick bucket count of the
+        embedding (see :class:`~repro.text.vectorize.HashedNgramVectorizer`).
+    idf:
+        Weight buckets by smoothed inverse document frequency over the
+        *combined* corpus of both tables (TF-IDF), de-emphasizing grams
+        every record shares.
+    n_bands, band_bits, seed:
+        The LSH dial: candidates collide in at least one of ``n_bands``
+        bands of ``band_bits`` sign bits.  More bands -> higher recall
+        and larger candidate sets; more bits -> sharper bands.
+
+    Commutativity: with ``top_k=None`` the pair decision (cosine in the
+    joint space of the two *base tables* >= threshold) is independent of
+    which other pairs are present, so chained filters commute and
+    :mod:`repro.plan` may reorder them.  A ``top_k`` budget ranks each
+    left record's surviving partners against each other, which is not
+    pair-local — those instances declare ``commutative = False`` and are
+    never reordered.
+
+    Note: per-pair :meth:`block_tuples` embeds the pair in isolation and
+    therefore cannot apply corpus-level IDF weights; it raises under
+    ``idf=True`` (use :meth:`block_candset`, which scores exactly in the
+    corpus space).
+    """
+
+    def __init__(
+        self,
+        l_block_attr: str,
+        r_block_attr: str | None = None,
+        threshold: float = 0.3,
+        top_k: int | None = None,
+        q: int = 3,
+        dim: int = 2**18,
+        idf: bool = True,
+        n_bands: int = 16,
+        band_bits: int = 6,
+        seed: int = 0,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in (0, 1], got {threshold}"
+            )
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError(f"top_k must be >= 1, got {top_k}")
+        if n_bands < 1 or band_bits < 1:
+            raise ConfigurationError(
+                f"need n_bands >= 1 and band_bits >= 1, "
+                f"got n_bands={n_bands} band_bits={band_bits}"
+            )
+        self.l_block_attr = l_block_attr
+        self.r_block_attr = r_block_attr if r_block_attr is not None else l_block_attr
+        self.threshold = threshold
+        self.top_k = top_k
+        self.q = q
+        self.dim = dim
+        self.idf = idf
+        self.n_bands = n_bands
+        self.band_bits = band_bits
+        self.seed = seed
+        # A top-k budget ranks a record's partners against each other:
+        # not a pair-local decision, so the plan optimizer must not
+        # reorder it (see Blocker.commutative).
+        self.commutative = top_k is None
+        # One vectorizer per blocker (its tokenize memo is the hot-path
+        # cache); never constructed per row or per call.
+        self._vectorizer = HashedNgramVectorizer(q=q, dim=dim, lowercase=True)
+
+    # ------------------------------------------------------------------
+    # Embedding plumbing
+    # ------------------------------------------------------------------
+    def _space(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str,
+        r_key: str,
+        store: IndexStore,
+    ):
+        """The two tables' joint vector space, via the artifact chain."""
+        left = store.hashed_column(ltable, l_key, self.l_block_attr, self._vectorizer)
+        right = store.hashed_column(rtable, r_key, self.r_block_attr, self._vectorizer)
+        return store.vector_pair(left, right, idf=self.idf)
+
+    def _embed_value(self, value: Any):
+        if is_missing(value):
+            return {}
+        return self._vectorizer.embed_normalized(str(value))
+
+    # ------------------------------------------------------------------
+    # Blocker API
+    # ------------------------------------------------------------------
+    def block_tuples(self, l_row: Row, r_row: Row) -> bool:
+        if self.idf:
+            raise NotImplementedError(
+                "per-pair filtering under IDF weighting requires the whole "
+                "corpus; use block_candset (exact corpus-space scoring) or "
+                "construct the blocker with idf=False"
+            )
+        l_vector = self._embed_value(l_row[self.l_block_attr])
+        r_vector = self._embed_value(r_row[self.r_block_attr])
+        return cosine(l_vector, r_vector) < self.threshold
+
+    def block_tables(
+        self,
+        ltable: Table,
+        rtable: Table,
+        l_key: str = "id",
+        r_key: str = "id",
+        l_output_attrs: Sequence[str] = (),
+        r_output_attrs: Sequence[str] = (),
+        catalog: Catalog | None = None,
+        n_jobs: int = 1,
+    ) -> Table:
+        """ANN retrieval: probe each left record against the right index.
+
+        ``n_jobs`` is accepted for interface compatibility; probes are
+        index lookups plus sparse dot products, far below the cost where
+        fork-sharding pays for itself.
+        """
+        started = time.perf_counter()
+        ltable.require_columns([l_key, self.l_block_attr])
+        rtable.require_columns([r_key, self.r_block_attr])
+        store = get_index_store()
+        pair = self._space(ltable, rtable, l_key, r_key, store)
+        ann = store.ann_index(
+            pair,
+            side="right",
+            n_bands=self.n_bands,
+            band_bits=self.band_bits,
+            seed=self.seed,
+        )
+        registry = get_registry()
+        pairs: list[tuple[Any, Any]] = []
+        candidates_total = 0
+        probe_started = time.perf_counter()
+        for row_key, vector in pair.left:
+            matches = ann.search(vector, threshold=self.threshold, top_k=self.top_k)
+            candidates_total += len(matches)
+            pairs.extend((row_key, ann.keys[position]) for position, _ in matches)
+        registry.counter("index_ann_probes_total").inc(len(pair.left))
+        registry.counter("index_ann_candidates_total").inc(candidates_total)
+        registry.histogram("index_ann_probe_seconds").observe(
+            time.perf_counter() - probe_started
+        )
+        observe_blocking(self, len(pairs), time.perf_counter() - started)
+        return make_candset(
+            pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
+        )
+
+    def block_candset(
+        self,
+        candset: Table,
+        catalog: Catalog | None = None,
+        n_jobs: int = 1,
+    ) -> Table:
+        """Filter an existing candidate set by exact corpus-space cosine.
+
+        Unlike :meth:`block_tables` this is *not* approximate: every
+        input pair is scored with the true cosine in the joint
+        (IDF-weighted) space of the candidate set's base tables.  With
+        ``top_k`` set, each left record additionally keeps only its
+        ``top_k`` best surviving partners.
+        """
+        cat = catalog if catalog is not None else get_catalog()
+        meta = validate_candset(candset, cat)
+        l_key = cat.get_key(meta.ltable)
+        r_key = cat.get_key(meta.rtable)
+        meta.ltable.require_columns([self.l_block_attr])
+        meta.rtable.require_columns([self.r_block_attr])
+        pair = self._space(meta.ltable, meta.rtable, l_key, r_key, get_index_store())
+        l_vectors = dict(pair.left)
+        r_vectors = dict(pair.right)
+
+        empty: dict = {}
+        scored: list[tuple[int, Any, float]] = []  # (row index, l_id, score)
+        for i in range(candset.num_rows):
+            row = candset.row(i)
+            l_id = row[meta.fk_ltable]
+            score = cosine(
+                l_vectors.get(l_id, empty),
+                r_vectors.get(row[meta.fk_rtable], empty),
+            )
+            if score >= self.threshold:
+                scored.append((i, l_id, score))
+        if self.top_k is not None:
+            per_left: dict[Any, list[tuple[int, float]]] = {}
+            for i, l_id, score in scored:
+                per_left.setdefault(l_id, []).append((i, score))
+            keep = []
+            for rows in per_left.values():
+                rows.sort(key=lambda item: (-item[1], item[0]))
+                keep.extend(i for i, _ in rows[: self.top_k])
+            keep.sort()
+        else:
+            keep = [i for i, _, _ in scored]
+        observe_blocking(self, len(keep))
+        result = candset.take(keep)
+        result.add_column(CANDSET_ID, list(range(len(keep))))
+        cat.set_candset_metadata(
+            result, meta.key, meta.fk_ltable, meta.fk_rtable, meta.ltable, meta.rtable
+        )
+        return result

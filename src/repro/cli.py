@@ -14,7 +14,8 @@ Subcommands
 ``repro schema-match A.csv B.csv``
     Propose attribute correspondences between differently-named schemas.
 ``repro index build A.csv --key id [--column name] --cache-dir DIR``
-    Pre-build the reusable index artifacts (tokenizations, q-gram bags)
+    Pre-build the reusable index artifacts (tokenizations, q-gram bags;
+    with ``--vectors``, hashed n-gram embeddings for the vector blocker)
     for a table's string columns and persist them, so later matching
     runs pointed at the same cache start warm.
 ``repro index inspect --cache-dir DIR``
@@ -247,6 +248,7 @@ def cmd_index_build(args) -> int:
     from repro.index import IndexStore
     from repro.table.schema import is_missing
     from repro.text.tokenizers import QgramTokenizer, WhitespaceTokenizer
+    from repro.text.vectorize import HashedNgramVectorizer
 
     table = read_csv(args.table)
     columns = args.column or _string_columns(table, args.key)
@@ -257,6 +259,11 @@ def cmd_index_build(args) -> int:
         WhitespaceTokenizer(return_set=True),
         QgramTokenizer(q=args.q, return_set=True),
     ]
+    vectorizer = (
+        HashedNgramVectorizer(q=args.q, dim=args.vector_dim)
+        if args.vectors
+        else None
+    )
     rows = []
     for column in columns:
         started = time.perf_counter()
@@ -276,6 +283,10 @@ def cmd_index_build(args) -> int:
             for tokenizer in tokenizers:
                 store.tokenized_column(view, args.key, column, tokenizer)
             store.gram_bags(view, args.key, column, args.q)
+        if vectorizer is not None:
+            # The vector blocker embeds the raw column (its vectorizer
+            # lowercases internally), so only the raw view needs vectors.
+            store.hashed_column(table, args.key, column, vectorizer)
         rows.append((column, time.perf_counter() - started))
     for column, seconds in rows:
         print(f"indexed {column!r} in {seconds:.2f}s")
@@ -588,6 +599,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="column to index (repeatable; default: every string column)",
     )
     p.add_argument("--q", type=int, default=3, help="q-gram size")
+    p.add_argument(
+        "--vectors", action="store_true",
+        help="also build hashed n-gram embedding artifacts (vector blocking)",
+    )
+    p.add_argument(
+        "--vector-dim", type=int, default=2**18, metavar="DIM",
+        help="hashing-trick bucket count for --vectors (default: 2^18)",
+    )
     p.add_argument("--cache-dir", default=".repro-index", metavar="DIR")
     p.set_defaults(fn=cmd_index_build)
     p = index_sub.add_parser("inspect", help="list persisted index artifacts")

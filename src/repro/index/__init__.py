@@ -16,6 +16,7 @@ an incrementally-maintained index returns exactly what a from-scratch
 rebuild over its current records would.
 """
 
+from repro.index.ann import AnnIndex
 from repro.index.delta import (
     LIVE_FORMAT_VERSION,
     LiveIndex,
@@ -26,14 +27,18 @@ from repro.index.fingerprints import (
     column_fingerprint,
     combine,
     tokenizer_fingerprint,
+    vectorizer_fingerprint,
 )
 from repro.index.store import (
     ARTIFACT_KINDS,
+    CACHE_READ_ERRORS,
     GramIndex,
+    HashedColumn,
     IndexStore,
     PairEncoding,
     PrefixIndex,
     TokenizedColumn,
+    VectorPair,
     get_index_store,
     set_index_store,
     use_index_store,
@@ -41,14 +46,18 @@ from repro.index.store import (
 
 __all__ = [
     "ARTIFACT_KINDS",
+    "AnnIndex",
+    "CACHE_READ_ERRORS",
     "FORMAT_VERSION",
     "GramIndex",
+    "HashedColumn",
     "IndexStore",
     "LIVE_FORMAT_VERSION",
     "LiveIndex",
     "PairEncoding",
     "PrefixIndex",
     "TokenizedColumn",
+    "VectorPair",
     "column_fingerprint",
     "combine",
     "get_index_store",
@@ -56,4 +65,5 @@ __all__ = [
     "set_index_store",
     "tokenizer_fingerprint",
     "use_index_store",
+    "vectorizer_fingerprint",
 ]

@@ -68,3 +68,15 @@ def tokenizer_fingerprint(tokenizer: Tokenizer) -> str:
     serve the previous tokenizer's artifacts.
     """
     return combine("tokenizer", tokenizer.spec())
+
+
+def vectorizer_fingerprint(vectorizer) -> str:
+    """Digest of a vectorizer's ``spec()`` (class + constructor params).
+
+    Same contract as :func:`tokenizer_fingerprint`, for the
+    :class:`repro.text.vectorize.HashedNgramVectorizer` family: two
+    vectorizers with equal specs embed identically, so vector artifacts
+    built under one are served to the other — and changing ``q``,
+    ``dim``, padding, or casing can never serve stale embeddings.
+    """
+    return combine("vectorizer", vectorizer.spec())

@@ -21,6 +21,15 @@ keyed by the digests of what it was built from::
               -> prefix postings index              "prefix"
               -> verification bitmasks              "masks"
       -> q-gram bags / count-filter index           "grambags"/"gramindex"
+      -> hashed n-gram count vectors                "vectors"
+          -> joint (IDF-weighted) vector space      "vecpair"
+              -> banded-LSH approximate-NN index    "ann"
+
+The vector branch backs :class:`repro.blocking.vector.VectorBlocker`:
+embeddings from :mod:`repro.text.vectorize` and the
+:class:`repro.index.ann.AnnIndex` ride the same LRU + disk tiers,
+per-digest build locks, and warm-reload semantics as the token-side
+artifacts.
 
 Two tiers: an in-process LRU (shared by default across all callers via
 :func:`get_index_store`), and an optional on-disk cache (``cache_dir``,
@@ -46,10 +55,12 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.index.ann import AnnIndex
 from repro.index.fingerprints import (
     column_fingerprint,
     combine,
     tokenizer_fingerprint,
+    vectorizer_fingerprint,
 )
 from repro.obs import get_registry
 from repro.perf.kernels import token_mask
@@ -58,9 +69,35 @@ from repro.runtime.checkpoint import atomic_write_bytes
 from repro.table.schema import is_missing
 from repro.table.table import Table
 from repro.text.tokenizers import QgramTokenizer, Tokenizer
+from repro.text.vectorize import (
+    HashedNgramVectorizer,
+    SparseVector,
+    apply_idf,
+    idf_weights,
+    l2_normalize,
+)
 
 ARTIFACT_KINDS = (
     "records", "tokens", "encoding", "prefix", "masks", "grambags", "gramindex",
+    "vectors", "vecpair", "ann",
+)
+
+#: Disk-tier read failures that mean "treat as a cache miss and rebuild":
+#: unreadable files (``OSError``) and the unpickling failure modes the
+#: ``pickle`` docs name for truncated/corrupt/stale data —
+#: ``UnpicklingError``, ``EOFError``, ``AttributeError``/``ImportError``
+#: (artifact class moved or renamed), ``IndexError`` and ``ValueError``
+#: (mangled stream / unsupported protocol byte).  Anything else raising
+#: out of a cache read is a real bug and must propagate, not vanish as a
+#: silent rebuild.
+CACHE_READ_ERRORS = (
+    OSError,
+    EOFError,
+    pickle.UnpicklingError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    ValueError,
 )
 
 
@@ -122,6 +159,46 @@ class GramIndex:
     def __init__(self, key: str, index: dict[str, list[tuple[int, int]]]):
         self.key = key
         self.index = index
+
+
+class HashedColumn:
+    """One column's records as hashed n-gram count vectors.
+
+    ``records`` holds ``(row_key, raw count vector)`` in record order;
+    records sharing a distinct value share one vector object (the
+    sharing survives pickling, which memoizes references).
+    """
+
+    __slots__ = ("key", "records")
+
+    def __init__(self, key: str, records: list[tuple[Any, SparseVector]]):
+        self.key = key
+        self.records = records
+
+
+class VectorPair:
+    """A join pair's records in one shared, similarity-ready vector space.
+
+    Both sides' raw count vectors, IDF-weighted over the *combined*
+    corpus (when ``idf`` was requested) and L2-normalized — the form
+    :func:`repro.text.vectorize.cosine` and the ANN index consume.
+    ``idf`` is the fitted bucket -> weight table (``None`` without IDF),
+    kept so ad-hoc probe vectors can be projected into the same space.
+    """
+
+    __slots__ = ("key", "left", "right", "idf")
+
+    def __init__(
+        self,
+        key: str,
+        left: list[tuple[Any, SparseVector]],
+        right: list[tuple[Any, SparseVector]],
+        idf: dict[int, float] | None,
+    ):
+        self.key = key
+        self.left = left
+        self.right = right
+        self.idf = idf
 
 
 class IndexStore:
@@ -203,10 +280,13 @@ class IndexStore:
                         try:
                             with path.open("rb") as handle:
                                 artifact = pickle.load(handle)
-                        except Exception:
+                        except CACHE_READ_ERRORS:
                             # Truncated/corrupt cache files fall back to a
                             # rebuild (and the rebuilt artifact is persisted
-                            # below, replacing the bad file).
+                            # below, replacing the bad file).  Only the
+                            # known read/unpickle failure modes are
+                            # swallowed — and every swallow is counted —
+                            # so a logic bug here cannot vanish silently.
                             registry.counter(
                                 "index_disk_errors_total", kind=kind
                             ).inc()
@@ -372,6 +452,93 @@ class IndexStore:
             return GramIndex(digest, index)
 
         return self._get("gramindex", digest, build)
+
+    # ------------------------------------------------------------------
+    # Vector-branch accessors (the ANN blocking building blocks)
+    # ------------------------------------------------------------------
+    def hashed_column(
+        self,
+        table: Table,
+        key: str,
+        column: str,
+        vectorizer: HashedNgramVectorizer,
+    ) -> HashedColumn:
+        """Hashed n-gram count vectors per record of the column."""
+        table.require_columns([key, column])
+        col_fp = column_fingerprint(table, key, column)
+        digest = combine("vectors", col_fp, vectorizer_fingerprint(vectorizer))
+
+        def build() -> HashedColumn:
+            records = self._records(col_fp, table, key, column)
+            by_value: dict[str, SparseVector] = {}
+            embedded: list[tuple[Any, SparseVector]] = []
+            for row_key, value in records:
+                vector = by_value.get(value)
+                if vector is None:
+                    vector = by_value[value] = vectorizer.embed(value)
+                embedded.append((row_key, vector))
+            return HashedColumn(digest, embedded)
+
+        return self._get("vectors", digest, build)
+
+    def vector_pair(
+        self, left: HashedColumn, right: HashedColumn, idf: bool = True
+    ) -> VectorPair:
+        """Both sides projected into one (optionally IDF-weighted) space."""
+        digest = combine("vecpair", left.key, right.key, idf)
+
+        def build() -> VectorPair:
+            weights = (
+                idf_weights(
+                    vector
+                    for side in (left, right)
+                    for _, vector in side.records
+                )
+                if idf
+                else None
+            )
+            # Records sharing a raw vector object share the normalized
+            # one too (id-keyed memo; valid within this build).
+            memo: dict[int, SparseVector] = {}
+
+            def project(side: HashedColumn) -> list[tuple[Any, SparseVector]]:
+                projected = []
+                for row_key, vector in side.records:
+                    normalized = memo.get(id(vector))
+                    if normalized is None:
+                        weighted = (
+                            apply_idf(vector, weights)
+                            if weights is not None
+                            else vector
+                        )
+                        normalized = memo[id(vector)] = l2_normalize(weighted)
+                    projected.append((row_key, normalized))
+                return projected
+
+            return VectorPair(digest, project(left), project(right), weights)
+
+        return self._get("vecpair", digest, build)
+
+    def ann_index(
+        self,
+        pair: VectorPair,
+        side: str = "right",
+        n_bands: int = 16,
+        band_bits: int = 6,
+        seed: int = 0,
+    ) -> AnnIndex:
+        """Banded-LSH index over one side of a :class:`VectorPair`."""
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        digest = combine("ann", pair.key, side, n_bands, band_bits, seed)
+
+        def build() -> AnnIndex:
+            records = pair.right if side == "right" else pair.left
+            return AnnIndex(
+                digest, records, n_bands=n_bands, band_bits=band_bits, seed=seed
+            )
+
+        return self._get("ann", digest, build)
 
     # ------------------------------------------------------------------
     # Introspection and maintenance

@@ -16,13 +16,29 @@ from repro.text.tokenizers import (
     Tokenizer,
     WhitespaceTokenizer,
 )
+from repro.text.vectorize import (
+    HashedNgramVectorizer,
+    apply_idf,
+    cosine,
+    idf_weights,
+    l2_normalize,
+    sparse_dot,
+    stable_bucket,
+)
 
 __all__ = [
     "AlphabeticTokenizer",
     "AlphanumericTokenizer",
     "DelimiterTokenizer",
+    "HashedNgramVectorizer",
     "QgramTokenizer",
     "Tokenizer",
     "WhitespaceTokenizer",
+    "apply_idf",
+    "cosine",
+    "idf_weights",
+    "l2_normalize",
     "sim",
+    "sparse_dot",
+    "stable_bucket",
 ]

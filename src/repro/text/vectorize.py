@@ -1,0 +1,166 @@
+"""Hashed character-n-gram embeddings, built from scratch.
+
+The vector half of the text layer: where :mod:`repro.text.tokenizers`
+turns a string into discrete tokens for set-overlap measures, this
+module turns it into a sparse *vector* for geometric ones — the
+representation the ANN blocking backend (:mod:`repro.blocking.vector`)
+retrieves with.  Following the no-sklearn substrate rule everything is
+hand-rolled: a hashing vectorizer (character q-grams hashed into a
+fixed-width bucket space, "the hashing trick"), optional smoothed IDF
+weighting fitted on a corpus, and L2-normalized sparse cosine kernels.
+
+Vectors are plain ``dict[int, float]`` (bucket -> weight).  Attribute
+values are short, so the sparse dot product — iterate the smaller dict —
+beats any dense representation in pure Python by orders of magnitude.
+
+Determinism matters: bucket assignment must be identical across
+processes and across pickling round-trips (the embeddings and the ANN
+index over them are content-fingerprinted :class:`repro.index.IndexStore`
+artifacts, and a disk-tier reload must probe byte-identically).  Python's
+builtin ``hash`` is salted per process, so buckets come from
+``blake2b``, which is keyed only by the gram bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.text.tokenizers import QgramTokenizer
+
+SparseVector = dict[int, float]
+
+
+def stable_bucket(token: str, dim: int) -> int:
+    """Map a token into ``[0, dim)`` identically in every process."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % dim
+
+
+def l2_normalize(vector: SparseVector) -> SparseVector:
+    """Scale a sparse vector to unit L2 norm (zero vectors stay zero)."""
+    norm = math.sqrt(sum(weight * weight for weight in vector.values()))
+    if norm == 0.0:
+        return {}
+    return {bucket: weight / norm for bucket, weight in vector.items()}
+
+
+def sparse_dot(a: SparseVector, b: SparseVector) -> float:
+    """Dot product of two sparse vectors (iterates the smaller one)."""
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(weight * b[bucket] for bucket, weight in a.items() if bucket in b)
+
+
+def cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity of two *already L2-normalized* sparse vectors."""
+    return sparse_dot(a, b)
+
+
+class HashedNgramVectorizer:
+    """Character q-grams of a (lowercased) string, hashed into ``dim`` buckets.
+
+    ``embed`` returns raw term-frequency counts per bucket;
+    ``embed_normalized`` L2-normalizes them, which is the form the
+    cosine kernels and the ANN index expect.  Padding (on by default,
+    matching :class:`~repro.text.tokenizers.QgramTokenizer`) lets the
+    boundary characters of short attribute values participate in as many
+    grams as interior ones.
+
+    IDF weighting is deliberately *not* state on the vectorizer: it is a
+    corpus-level quantity, computed by :func:`idf_weights` over both
+    sides of a join pair and applied by :func:`apply_idf`, so the
+    vectorizer itself stays content-free and its :meth:`spec` (the index
+    fingerprint identity) covers exactly its constructor parameters.
+    """
+
+    def __init__(
+        self,
+        q: int = 3,
+        dim: int = 2**18,
+        padding: bool = True,
+        lowercase: bool = True,
+    ):
+        if dim < 1:
+            raise ConfigurationError(f"dim must be >= 1, got {dim}")
+        self.q = q
+        self.dim = dim
+        self.padding = padding
+        self.lowercase = lowercase
+        self._tokenizer = QgramTokenizer(q=q, padding=padding)
+
+    def spec(self) -> tuple:
+        """Stable identity for fingerprints: class name + parameters."""
+        params = tuple(
+            (name, value)
+            for name, value in sorted(self.__dict__.items())
+            if not name.startswith("_")
+        )
+        return (type(self).__name__, params)
+
+    def embed(self, value: str) -> SparseVector:
+        """Hashed term-frequency counts of the value's q-grams.
+
+        Empty (or all-whitespace) strings embed to the empty vector:
+        with padding enabled the tokenizer would otherwise emit
+        padding-only grams, making every empty string look identical
+        (cosine 1.0) despite carrying no signal.
+        """
+        if self.lowercase:
+            value = value.lower()
+        if not value.strip():
+            return {}
+        counts: SparseVector = {}
+        for gram in self._tokenizer.tokenize(value):
+            bucket = stable_bucket(gram, self.dim)
+            counts[bucket] = counts.get(bucket, 0.0) + 1.0
+        return counts
+
+    def embed_normalized(self, value: str) -> SparseVector:
+        """L2-normalized :meth:`embed` (the similarity-ready form)."""
+        return l2_normalize(self.embed(value))
+
+    def __getstate__(self):
+        # The tokenizer memo is derived state; rebuild it on unpickle so
+        # artifact pickles stay small and deterministic.
+        state = self.__dict__.copy()
+        state.pop("_tokenizer", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._tokenizer = QgramTokenizer(q=self.q, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(q={self.q}, dim={self.dim}, "
+            f"padding={self.padding}, lowercase={self.lowercase})"
+        )
+
+
+def idf_weights(corpus: Iterable[SparseVector]) -> dict[int, float]:
+    """Smoothed inverse document frequency per bucket over a corpus.
+
+    ``idf = ln((1 + N) / (1 + df)) + 1`` — the standard smoothed form,
+    so buckets present in every record still carry positive weight and
+    empty corpora cannot divide by zero.
+    """
+    document_frequency: dict[int, int] = {}
+    n_records = 0
+    for vector in corpus:
+        n_records += 1
+        for bucket in vector:
+            document_frequency[bucket] = document_frequency.get(bucket, 0) + 1
+    return {
+        bucket: math.log((1 + n_records) / (1 + df)) + 1.0
+        for bucket, df in document_frequency.items()
+    }
+
+
+def apply_idf(vector: SparseVector, idf: dict[int, float]) -> SparseVector:
+    """Reweight raw counts by IDF (unknown buckets keep weight 1.0)."""
+    return {
+        bucket: count * idf.get(bucket, 1.0) for bucket, count in vector.items()
+    }

@@ -160,6 +160,24 @@ class TestSortedNeighborhood:
         large = SortedNeighborhoodBlocker("name", window=5).block_tables(ds.ltable, ds.rtable)
         assert pairs_of(small) <= pairs_of(large)
 
+    def test_oversized_window_is_full_cross_product(self):
+        table_a = Table({"id": ["a1", "a2"], "v": ["apple", "zebra"]})
+        table_b = Table({"id": ["b1", "b2"], "v": ["appls", None]})
+        blocker = SortedNeighborhoodBlocker("v", window=50)
+        result = pairs_of(blocker.block_tables(table_a, table_b, "id", "id"))
+        # The missing-value row is dropped; everything else cross-pairs.
+        assert result == {("a1", "b1"), ("a2", "b1")}
+
+    def test_all_missing_sort_values_empty_candset(self):
+        table_a = Table({"id": ["a1", "a2"], "v": [None, None]})
+        table_b = Table({"id": ["b1"], "v": [None]})
+        candset = SortedNeighborhoodBlocker("v", window=3).block_tables(
+            table_a, table_b, "id", "id"
+        )
+        assert candset.num_rows == 0
+        # Still a well-formed, catalog-registered candset.
+        assert get_catalog().get_candset_metadata(candset).ltable is table_a
+
 
 class TestBlackBox:
     def test_arbitrary_predicate(self, figure1_tables):

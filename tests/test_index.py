@@ -235,6 +235,29 @@ class TestPersistence:
         with path.open("rb") as handle:
             assert pickle.load(handle) == records
 
+    def test_unexpected_cache_read_error_propagates(self, tmp_path, monkeypatch):
+        """Only CACHE_READ_ERRORS are swallowed as cache misses; a logic
+        bug raising out of the read path must surface, uncounted."""
+        import repro.index.store as store_module
+
+        table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
+        store = IndexStore(cache_dir=tmp_path)
+        store.string_records(table, "id", "v")
+
+        def explode(handle):
+            raise RuntimeError("not a cache-read failure")
+
+        monkeypatch.setattr(store_module.pickle, "load", explode)
+        fresh = IndexStore(cache_dir=tmp_path)
+        with use_registry() as registry:
+            try:
+                fresh.string_records(table, "id", "v")
+            except RuntimeError as error:
+                assert "not a cache-read failure" in str(error)
+            else:  # pragma: no cover - defends the assertion above
+                raise AssertionError("RuntimeError should have propagated")
+            assert counter_total(registry, "index_disk_errors_total") == 0
+
     def test_disk_artifacts_and_clear(self, tmp_path):
         table = Table({"id": [1, 2], "v": ["dave smith", "joe wilson"]})
         store = IndexStore(cache_dir=tmp_path)

@@ -141,3 +141,16 @@ class TestCanopyBlocker:
     def test_block_tuples_undefined(self):
         with pytest.raises(NotImplementedError):
             CanopyBlocker().block_tuples({}, {})
+
+    def test_no_shared_attrs_raises(self):
+        """attrs=None over disjoint schemas is a misconfiguration, not
+        a legitimate empty result."""
+        ltable = Table({"id": [1], "name": ["dave"]})
+        rtable = Table({"id": [1], "title": ["dave"]})
+        with pytest.raises(ConfigurationError, match="share no non-key"):
+            CanopyBlocker().block_tables(ltable, rtable, "id", "id")
+
+    def test_explicit_empty_attrs_raises(self):
+        ltable = Table({"id": [1], "name": ["dave"]})
+        with pytest.raises(ConfigurationError, match="attrs"):
+            CanopyBlocker(attrs=[]).block_tables(ltable, ltable, "id", "id")
