@@ -66,6 +66,15 @@ class VectorBlocker(Blocker):
         The LSH dial: candidates collide in at least one of ``n_bands``
         bands of ``band_bits`` sign bits.  More bands -> higher recall
         and larger candidate sets; more bits -> sharper bands.
+    kernel:
+        Scoring backend: ``"dict"`` probes and verifies one record at a
+        time with scalar sparse dots; ``"array"`` batches signature
+        computation and runs verification as columnar cosine
+        accumulations (:mod:`repro.perf.arrays`), byte-identical scores;
+        ``"auto"`` (default) picks by corpus size.  ``"mask"``/``"merge"``
+        are accepted for interface symmetry with
+        :func:`~repro.simjoin.joins.set_sim_join` and behave as
+        ``"dict"`` here.
 
     Commutativity: with ``top_k=None`` the pair decision (cosine in the
     joint space of the two *base tables* >= threshold) is independent of
@@ -93,7 +102,14 @@ class VectorBlocker(Blocker):
         n_bands: int = 16,
         band_bits: int = 6,
         seed: int = 0,
+        kernel: str = "auto",
     ):
+        from repro.simjoin.joins import KERNELS
+
+        if kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}"
+            )
         if not 0.0 < threshold <= 1.0:
             raise ConfigurationError(
                 f"threshold must be in (0, 1], got {threshold}"
@@ -115,6 +131,7 @@ class VectorBlocker(Blocker):
         self.n_bands = n_bands
         self.band_bits = band_bits
         self.seed = seed
+        self.kernel = kernel
         # A top-k budget ranks a record's partners against each other:
         # not a pair-local decision, so the plan optimizer must not
         # reorder it (see Blocker.commutative).
@@ -187,14 +204,32 @@ class VectorBlocker(Blocker):
             band_bits=self.band_bits,
             seed=self.seed,
         )
+        from repro.perf.arrays import choose_backend, observe_kernel_batch
+
         registry = get_registry()
         pairs: list[tuple[Any, Any]] = []
         candidates_total = 0
         probe_started = time.perf_counter()
-        for row_key, vector in pair.left:
-            matches = ann.search(vector, threshold=self.threshold, top_k=self.top_k)
-            candidates_total += len(matches)
-            pairs.extend((row_key, ann.keys[position]) for position, _ in matches)
+        if choose_backend(self.kernel, len(pair.left), len(ann)) == "array":
+            searched = ann.search_batch(
+                [vector for _, vector in pair.left],
+                threshold=self.threshold,
+                top_k=self.top_k,
+            )
+            for (row_key, _), matches in zip(pair.left, searched):
+                candidates_total += len(matches)
+                pairs.extend((row_key, ann.keys[position]) for position, _ in matches)
+            observe_kernel_batch(
+                "ann_search",
+                len(pair.left),
+                candidates_total,
+                time.perf_counter() - probe_started,
+            )
+        else:
+            for row_key, vector in pair.left:
+                matches = ann.search(vector, threshold=self.threshold, top_k=self.top_k)
+                candidates_total += len(matches)
+                pairs.extend((row_key, ann.keys[position]) for position, _ in matches)
         registry.counter("index_ann_probes_total").inc(len(pair.left))
         registry.counter("index_ann_candidates_total").inc(candidates_total)
         registry.histogram("index_ann_probe_seconds").observe(
@@ -204,6 +239,48 @@ class VectorBlocker(Blocker):
         return make_candset(
             pairs, ltable, rtable, l_key, r_key, l_output_attrs, r_output_attrs, catalog
         )
+
+    def _score_candset_arrays(
+        self,
+        pair,
+        l_vectors: dict,
+        by_left: dict[Any, list[int]],
+        r_ids: Sequence[Any],
+    ) -> list[tuple[int, Any, float]]:
+        """Columnar scoring for :meth:`block_candset`, byte-identical.
+
+        One :func:`~repro.perf.arrays.batch_cosine` accumulation per
+        distinct left record scores it against every right vector at
+        once; each candidate row then just gathers its score.  The
+        accumulation walks shared buckets in the same ascending order as
+        the scalar :func:`~repro.text.vectorize.cosine`, so the floats
+        (and hence the survivor set) are bit-identical to the dict path.
+        """
+        from repro.perf.arrays import SparseColumns, batch_cosine, observe_kernel_batch
+
+        started = time.perf_counter()
+        r_position = {row_key: i for i, (row_key, _) in enumerate(pair.right)}
+        columns = SparseColumns([vector for _, vector in pair.right])
+        # Keyed by candset row index so emission below restores the
+        # scalar path's ascending-row order.
+        by_row: dict[int, tuple[Any, float]] = {}
+        for l_id, rows in by_left.items():
+            l_vector = l_vectors.get(l_id)
+            if not l_vector:
+                continue  # empty/missing left: scalar cosine is 0, below threshold
+            scores = batch_cosine(l_vector, columns)
+            for i in rows:
+                position = r_position.get(r_ids[i])
+                if position is None:
+                    continue
+                score = float(scores[position])
+                if score >= self.threshold:
+                    by_row[i] = (l_id, score)
+        scored = [(i, l_id, score) for i, (l_id, score) in sorted(by_row.items())]
+        observe_kernel_batch(
+            "vector_candset", len(by_left), len(scored), time.perf_counter() - started
+        )
+        return scored
 
     def block_candset(
         self,
@@ -227,19 +304,29 @@ class VectorBlocker(Blocker):
         meta.rtable.require_columns([self.r_block_attr])
         pair = self._space(meta.ltable, meta.rtable, l_key, r_key, get_index_store())
         l_vectors = dict(pair.left)
-        r_vectors = dict(pair.right)
+
+        from repro.perf.arrays import choose_backend
 
         empty: dict = {}
         scored: list[tuple[int, Any, float]] = []  # (row index, l_id, score)
-        for i in range(candset.num_rows):
-            row = candset.row(i)
-            l_id = row[meta.fk_ltable]
-            score = cosine(
-                l_vectors.get(l_id, empty),
-                r_vectors.get(row[meta.fk_rtable], empty),
-            )
-            if score >= self.threshold:
-                scored.append((i, l_id, score))
+        l_ids = candset.column(meta.fk_ltable)
+        r_ids = candset.column(meta.fk_rtable)
+        # Group rows by left record: the columnar path scores each
+        # distinct left against the whole right corpus in one pass.
+        by_left: dict[Any, list[int]] = {}
+        for i, l_id in enumerate(l_ids):
+            by_left.setdefault(l_id, []).append(i)
+        if choose_backend(self.kernel, len(by_left), len(pair.right)) == "array":
+            scored = self._score_candset_arrays(pair, l_vectors, by_left, r_ids)
+        else:
+            r_vectors = dict(pair.right)
+            for i in range(candset.num_rows):
+                score = cosine(
+                    l_vectors.get(l_ids[i], empty),
+                    r_vectors.get(r_ids[i], empty),
+                )
+                if score >= self.threshold:
+                    scored.append((i, l_ids[i], score))
         if self.top_k is not None:
             per_left: dict[Any, list[tuple[int, float]]] = {}
             for i, l_id, score in scored:

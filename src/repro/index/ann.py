@@ -55,7 +55,7 @@ class AnnIndex:
     """
 
     __slots__ = ("key", "n_bands", "band_bits", "seed", "keys", "vectors",
-                 "buckets", "_sign_cache")
+                 "buckets", "_sign_cache", "_np_signs", "_columns")
 
     def __init__(
         self,
@@ -77,9 +77,11 @@ class AnnIndex:
         self.keys = [row_key for row_key, _ in records]
         self.vectors = [vector for _, vector in records]
         self._sign_cache: dict[int, tuple[float, ...]] = {}
+        self._np_signs: dict[int, Any] = {}
+        self._columns = None
         buckets: dict[tuple[int, int], list[int]] = {}
-        for position, vector in enumerate(self.vectors):
-            for band_key in self.signature(vector):
+        for position, band_keys in enumerate(self.signature_batch(self.vectors)):
+            for band_key in band_keys:
                 buckets.setdefault(band_key, []).append(position)
         self.buckets = {
             band_key: tuple(positions) for band_key, positions in buckets.items()
@@ -93,13 +95,21 @@ class AnnIndex:
         return self.n_bands * self.band_bits
 
     def signature(self, vector: SparseVector) -> list[tuple[int, int]]:
-        """The ``(band, bits)`` bucket keys of one vector (empty: none)."""
+        """The ``(band, bits)`` bucket keys of one vector (empty: none).
+
+        Buckets accumulate in ascending order: float addition is not
+        associative, so pinning the order keeps this scalar path
+        bit-identical to :meth:`signature_batch` (which vectorizes the
+        per-plane accumulation but walks buckets in the same order) —
+        and therefore bucket assignments identical between them.
+        """
         if not vector:
             return []
         n_planes = self.n_planes
         accumulator = [0.0] * n_planes
         cache = self._sign_cache
-        for bucket, weight in vector.items():
+        for bucket in sorted(vector):
+            weight = vector[bucket]
             signs = cache.get(bucket)
             if signs is None:
                 signs = cache[bucket] = _plane_signs(bucket, self.seed, n_planes)
@@ -109,11 +119,48 @@ class AnnIndex:
         for plane in range(n_planes):
             if accumulator[plane] >= 0.0:
                 bits |= 1 << plane
+        return self._band_keys(bits)
+
+    def _band_keys(self, bits: int) -> list[tuple[int, int]]:
         mask = (1 << self.band_bits) - 1
         return [
             (band, (bits >> (band * self.band_bits)) & mask)
             for band in range(self.n_bands)
         ]
+
+    def signature_batch(self, vectors) -> list[list[tuple[int, int]]]:
+        """Signatures for many vectors; one vectorized accumulator each.
+
+        Per vector the ``n_planes`` accumulators update with one numpy
+        multiply-add per bucket instead of a Python loop over planes —
+        same buckets, same ascending order, same float64 operations, so
+        the band keys equal :meth:`signature`'s exactly.  Falls back to
+        the scalar path without numpy.
+        """
+        from repro.perf.arrays import HAVE_ARRAYS, np
+
+        if not HAVE_ARRAYS:
+            return [self.signature(vector) for vector in vectors]
+        n_planes = self.n_planes
+        cache = self._np_signs
+        signatures: list[list[tuple[int, int]]] = []
+        for vector in vectors:
+            if not vector:
+                signatures.append([])
+                continue
+            accumulator = np.zeros(n_planes, dtype=np.float64)
+            for bucket in sorted(vector):
+                signs = cache.get(bucket)
+                if signs is None:
+                    signs = cache[bucket] = np.array(
+                        _plane_signs(bucket, self.seed, n_planes), dtype=np.float64
+                    )
+                accumulator += vector[bucket] * signs
+            bits = 0
+            for plane in np.nonzero(accumulator >= 0.0)[0].tolist():
+                bits |= 1 << plane
+            signatures.append(self._band_keys(bits))
+        return signatures
 
     # ------------------------------------------------------------------
     # Probing
@@ -151,20 +198,84 @@ class AnnIndex:
             scored = scored[:top_k]
         return scored
 
+    def probe_batch(self, vectors) -> list[list[int]]:
+        """:meth:`probe` for many vectors (batched signature computation)."""
+        buckets = self.buckets
+        probed: list[list[int]] = []
+        for band_keys in self.signature_batch(vectors):
+            candidates: set[int] = set()
+            for band_key in band_keys:
+                positions = buckets.get(band_key)
+                if positions:
+                    candidates.update(positions)
+            probed.append(sorted(candidates))
+        return probed
+
+    def _corpus_columns(self):
+        """Lazy bucket-major view of the corpus for batched cosine."""
+        from repro.perf.arrays import HAVE_ARRAYS, SparseColumns
+
+        if not HAVE_ARRAYS:
+            return None
+        if self._columns is None:
+            self._columns = SparseColumns(self.vectors)
+        return self._columns
+
+    def search_batch(
+        self,
+        vectors,
+        threshold: float = 0.0,
+        top_k: int | None = None,
+    ) -> list[list[tuple[int, float]]]:
+        """:meth:`search` for many vectors in one batched pass.
+
+        Candidates come from :meth:`probe_batch`; verification scores
+        each query against the whole corpus with one columnar cosine
+        accumulation (ascending shared buckets — bit-identical floats to
+        the scalar :func:`~repro.text.vectorize.cosine`), then applies
+        the same threshold/ranking/``top_k``.  Each per-query result
+        equals :meth:`search` on that query exactly.
+        """
+        columns = self._corpus_columns()
+        if columns is None:
+            return [self.search(vector, threshold, top_k) for vector in vectors]
+        from repro.perf.arrays import batch_cosine
+
+        results: list[list[tuple[int, float]]] = []
+        for vector, candidates in zip(vectors, self.probe_batch(vectors)):
+            if not candidates:
+                results.append([])
+                continue
+            scores = batch_cosine(vector, columns)
+            scored = []
+            for position in candidates:
+                score = float(scores[position])
+                if score >= threshold:
+                    scored.append((position, score))
+            scored.sort(key=lambda item: (-item[1], item[0]))
+            if top_k is not None:
+                scored = scored[:top_k]
+            results.append(scored)
+        return results
+
     # ------------------------------------------------------------------
-    # Pickling (the sign cache is derived state)
+    # Pickling (the sign caches and corpus columns are derived state)
     # ------------------------------------------------------------------
+    _DERIVED_SLOTS = ("_sign_cache", "_np_signs", "_columns")
+
     def __getstate__(self):
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot != "_sign_cache"
+            if slot not in self._DERIVED_SLOTS
         }
 
     def __setstate__(self, state):
         for slot, value in state.items():
             object.__setattr__(self, slot, value)
         object.__setattr__(self, "_sign_cache", {})
+        object.__setattr__(self, "_np_signs", {})
+        object.__setattr__(self, "_columns", None)
 
     def __len__(self) -> int:
         return len(self.keys)

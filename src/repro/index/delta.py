@@ -93,15 +93,20 @@ class _BaseSegment:
     this object, as a tombstone set held by the :class:`LiveIndex`.
     """
 
-    __slots__ = ("records", "universe", "enc", "index", "masks", "positions")
+    __slots__ = (
+        "records", "universe", "enc", "index", "masks", "positions",
+        "encoding", "array_index",
+    )
 
-    def __init__(self, records, universe, enc, index, masks, positions):
+    def __init__(self, records, universe, enc, index, masks, positions, encoding):
         self.records = records      # [(key, value)] — the frozen snapshot
         self.universe = universe    # TokenUniverse over the snapshot
         self.enc = enc              # [(key, ids)] in record order
         self.index = index          # token id -> (sizes, positions)
         self.masks = masks          # [int] | None (mask kernel)
         self.positions = positions  # key -> base position
+        self.encoding = encoding    # the PairEncoding artifact (array builds)
+        self.array_index = None     # lazy ArrayIndex (batched probes)
 
 
 class _DeltaSegment:
@@ -242,7 +247,8 @@ class LiveIndex:
         encoding = store.pair_encoding(tc, tc)
         index = store.prefix_index(encoding, self.measure, self.threshold).index
         use_masks = self.kernel == "mask" or (
-            self.kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
+            self.kernel in ("auto", "dict")
+            and len(encoding.universe) <= MASK_UNIVERSE_MAX
         )
         masks = store.right_masks(encoding) if use_masks else None
         positions: dict[Any, int] = {}
@@ -252,7 +258,24 @@ class LiveIndex:
                     f"live index requires unique keys; {row_key!r} appears twice"
                 )
             positions[row_key] = position
-        return _BaseSegment(records, encoding.universe, encoding.right, index, masks, positions)
+        return _BaseSegment(
+            records, encoding.universe, encoding.right, index, masks, positions, encoding
+        )
+
+    def _base_array_index_locked(self):
+        """The base segment's lazy :class:`~repro.perf.arrays.ArrayIndex`.
+
+        Built through the store on first batched probe (``None`` when
+        the array stack is unavailable or the base is empty).
+        """
+        from repro.perf.arrays import HAVE_ARRAYS
+
+        base = self._base
+        if base.array_index is None and HAVE_ARRAYS and base.enc:
+            base.array_index = self._store.array_index(
+                base.encoding, self.measure, self.threshold
+            )
+        return base.array_index
 
     # ------------------------------------------------------------------
     # Mutation
@@ -294,7 +317,7 @@ class LiveIndex:
         else:
             self._tombstone_locked(op[1])
 
-    def _upsert_locked(self, row_key: Any, value: Any) -> bool:
+    def _upsert_locked(self, row_key: Any, value: Any, staged: dict | None = None) -> bool:
         self._tombstone_locked(row_key)
         prepared = self._prepare(value)
         if prepared is None:
@@ -309,18 +332,106 @@ class LiveIndex:
         size = len(ids)
         if size:
             prefix = ids[: prefix_length(self.measure, self.threshold, size)]
-            for token in prefix:
-                entry = delta.postings.get(token)
-                if entry is None:
-                    entry = delta.postings[token] = ([], [])
-                sizes, positions = entry
-                # Postings stay sorted by (size, position): equal sizes
-                # keep insertion order, and positions only ever grow.
-                at = bisect_right(sizes, size)
-                sizes.insert(at, size)
-                positions.insert(at, position)
+            if staged is not None:
+                # Bulk path: collect (size, position) per token; the
+                # caller merges each token's postings once per batch.
+                for token in prefix:
+                    staged.setdefault(token, []).append((size, position))
+            else:
+                for token in prefix:
+                    entry = delta.postings.get(token)
+                    if entry is None:
+                        entry = delta.postings[token] = ([], [])
+                    sizes, positions = entry
+                    # Postings stay sorted by (size, position): equal sizes
+                    # keep insertion order, and positions only ever grow.
+                    at = bisect_right(sizes, size)
+                    sizes.insert(at, size)
+                    positions.insert(at, position)
         delta.positions[row_key] = position
         return True
+
+    def _merge_staged_postings_locked(self, staged: dict) -> None:
+        """Fold a batch's staged ``(size, position)`` pairs into the delta.
+
+        Equivalent to the per-record ``bisect_right`` insertions: within
+        a token, existing postings all hold smaller positions than the
+        batch's, so an old-first-on-ties two-pointer merge reproduces
+        exactly the (size, insertion order) ordering sequential upserts
+        would have produced — one sort + one merge per touched token
+        instead of one list insertion per (record, prefix token).
+        """
+        postings = self._delta.postings
+        for token, new_pairs in staged.items():
+            # Equal sizes sort by position, which is insertion order.
+            new_pairs.sort()
+            entry = postings.get(token)
+            if entry is None:
+                postings[token] = (
+                    [size for size, _ in new_pairs],
+                    [position for _, position in new_pairs],
+                )
+                continue
+            sizes, positions = entry
+            merged_sizes: list[int] = []
+            merged_positions: list[int] = []
+            i = j = 0
+            while i < len(sizes) and j < len(new_pairs):
+                if sizes[i] <= new_pairs[j][0]:
+                    merged_sizes.append(sizes[i])
+                    merged_positions.append(positions[i])
+                    i += 1
+                else:
+                    merged_sizes.append(new_pairs[j][0])
+                    merged_positions.append(new_pairs[j][1])
+                    j += 1
+            merged_sizes.extend(sizes[i:])
+            merged_positions.extend(positions[i:])
+            merged_sizes.extend(size for size, _ in new_pairs[j:])
+            merged_positions.extend(position for _, position in new_pairs[j:])
+            sizes[:] = merged_sizes
+            positions[:] = merged_positions
+
+    def upsert_many(self, items) -> int:
+        """Bulk :meth:`upsert`: one lock acquisition, one postings merge.
+
+        ``items`` is an iterable of ``(row_key, value)``, applied in
+        order with sequential semantics (later duplicates win, missing
+        values tombstone) — the index state afterwards is identical to
+        looping :meth:`upsert`, but delta postings are sorted and merged
+        once per batch instead of insertion-sorted once per record.
+        Returns the number of records indexed (rest degenerated to
+        deletes).
+        """
+        items = list(items)
+        with self._lock:
+            staged: dict[int, list[tuple[int, int]]] = {}
+            indexed = 0
+            for row_key, value in items:
+                self._ops.append(("u", row_key, value))
+                indexed += self._upsert_locked(row_key, value, staged)
+                self._generation += 1
+            self._merge_staged_postings_locked(staged)
+            tombstones = len(self._base_tombstones) + len(self._delta.tombstones)
+        registry = get_registry()
+        registry.counter("index_delta_ops_total", op="upsert").inc(len(items))
+        registry.gauge("index_tombstones", index=self.name).set(tombstones)
+        return indexed
+
+    def delete_many(self, row_keys) -> int:
+        """Bulk :meth:`delete` under one lock; returns how many existed."""
+        row_keys = list(row_keys)
+        with self._lock:
+            removed = 0
+            for row_key in row_keys:
+                self._ops.append(("d", row_key))
+                removed += self._tombstone_locked(row_key)
+                self._generation += 1
+            tombstones = len(self._base_tombstones) + len(self._delta.tombstones)
+        registry = get_registry()
+        registry.counter("index_delta_ops_total", op="delete").inc(len(row_keys))
+        registry.gauge("index_tombstones", index=self.name).set(tombstones)
+        return removed
 
     def _tombstone_locked(self, row_key: Any) -> bool:
         position = self._delta.positions.pop(row_key, None)
@@ -417,27 +528,111 @@ class LiveIndex:
             self.threshold,
             skip=self._base_tombstones or None,
         )
+        delta_matches, delta_candidates = self._probe_delta_locked(left_ids, left_size)
+        if delta_candidates or delta_matches:
+            matches = matches + delta_matches
+        return matches, n_candidates + delta_candidates
+
+    def _probe_delta_locked(
+        self, left_ids: tuple[int, ...], left_size: int
+    ) -> tuple[list[tuple[Any, float]], int]:
+        """Probe the delta segment alone (``([], 0)`` when it is empty)."""
+        from repro.simjoin.joins import probe_encoded
+
         delta = self._delta
-        if delta.enc:
-            started = time.perf_counter()
-            delta_matches, delta_candidates = probe_encoded(
-                left_ids,
-                left_size,
-                delta.postings,
-                delta.enc,
-                delta.masks,
-                self._scorer,
-                self._overlap_bound,
+        if not delta.enc:
+            return [], 0
+        started = time.perf_counter()
+        delta_matches, delta_candidates = probe_encoded(
+            left_ids,
+            left_size,
+            delta.postings,
+            delta.enc,
+            delta.masks,
+            self._scorer,
+            self._overlap_bound,
+            self.measure,
+            self.threshold,
+            skip=delta.tombstones or None,
+        )
+        get_registry().histogram("index_delta_probe_seconds").observe(
+            time.perf_counter() - started
+        )
+        return delta_matches, delta_candidates
+
+    def search_batch(self, values) -> list[tuple[list[tuple[Any, float]], int]]:
+        """Probe many values in one call; one batched base-segment kernel.
+
+        Returns one ``(matches, n_candidates)`` pair per value, each
+        byte-identical to :meth:`search` on that value.  When the array
+        backend is available (and the index's ``kernel`` setting allows
+        it) the base segment is probed with one columnar
+        :func:`~repro.simjoin.joins.probe_encoded_batch` call for the
+        whole batch — the amortization :class:`repro.serve.MatchServer`'s
+        micro-batching exists for; the (small, mutable) delta segment is
+        probed per query under the same lock snapshot.
+        """
+        from repro.perf.arrays import choose_backend, observe_kernel_batch
+
+        started = time.perf_counter()
+        token_sets = []
+        for value in values:
+            prepared = self._prepare(value)
+            token_sets.append(
+                None
+                if prepared is None
+                else set(self.tokenizer.tokenize_cached(prepared))
+            )
+        live_queries = [ts for ts in token_sets if ts is not None]
+        with self._lock:
+            backend = choose_backend(
+                self.kernel, len(live_queries), len(self._base.enc)
+            )
+            array_index = (
+                self._base_array_index_locked() if backend == "array" else None
+            )
+            if array_index is None:
+                return [
+                    ([], 0) if ts is None else self._search_locked(ts)
+                    for ts in token_sets
+                ]
+            from repro.simjoin.joins import probe_encoded_batch
+
+            encoded = [
+                (self._encode_query(ts), len(ts)) for ts in live_queries
+            ]
+            base_results = probe_encoded_batch(
+                encoded,
+                array_index,
                 self.measure,
                 self.threshold,
-                skip=delta.tombstones or None,
+                skip=self._base_tombstones or None,
             )
-            get_registry().histogram("index_delta_probe_seconds").observe(
-                time.perf_counter() - started
-            )
-            matches = matches + delta_matches
-            n_candidates += delta_candidates
-        return matches, n_candidates
+            results: list[tuple[list[tuple[Any, float]], int]] = []
+            at = 0
+            n_candidates_total = 0
+            for ts in token_sets:
+                if ts is None:
+                    results.append(([], 0))
+                    continue
+                left_ids, left_size = encoded[at]
+                matches, n_candidates = base_results[at]
+                at += 1
+                delta_matches, delta_candidates = self._probe_delta_locked(
+                    left_ids, left_size
+                )
+                if delta_matches or delta_candidates:
+                    matches = matches + delta_matches
+                    n_candidates += delta_candidates
+                n_candidates_total += n_candidates
+                results.append((matches, n_candidates))
+        observe_kernel_batch(
+            "live_search",
+            len(token_sets),
+            n_candidates_total,
+            time.perf_counter() - started,
+        )
+        return results
 
     def join_table(self, table: Table, l_key: str, l_column: str) -> Table:
         """Join a probe table against the live corpus.

@@ -20,10 +20,18 @@ keyed by the digests of what it was built from::
           -> pair encoding (universe + id tuples)   "encoding"
               -> prefix postings index              "prefix"
               -> verification bitmasks              "masks"
+              -> CSR token-incidence matrices       "arrays"
+                  -> transposed probe-ready corpus  "arrayindex"
       -> q-gram bags / count-filter index           "grambags"/"gramindex"
       -> hashed n-gram count vectors                "vectors"
           -> joint (IDF-weighted) vector space      "vecpair"
               -> banded-LSH approximate-NN index    "ann"
+
+The ``arrays``/``arrayindex`` pair is the columnar ("array") kernel
+backend of :mod:`repro.perf.arrays`: the same encoded records as
+contiguous CSR matrices, built lazily only when a caller resolves
+``kernel="array"`` (or ``"auto"`` picks it), and byte-identical in
+output to the dict chain it sits beside.
 
 The vector branch backs :class:`repro.blocking.vector.VectorBlocker`:
 embeddings from :mod:`repro.text.vectorize` and the
@@ -78,8 +86,8 @@ from repro.text.vectorize import (
 )
 
 ARTIFACT_KINDS = (
-    "records", "tokens", "encoding", "prefix", "masks", "grambags", "gramindex",
-    "vectors", "vecpair", "ann",
+    "records", "tokens", "encoding", "prefix", "masks", "arrays", "arrayindex",
+    "grambags", "gramindex", "vectors", "vecpair", "ann",
 )
 
 #: Disk-tier read failures that mean "treat as a cache miss and rebuild":
@@ -419,6 +427,61 @@ class IndexStore:
             lambda: [token_mask(tokens) for _, tokens in encoding.right],
         )
 
+    def pair_arrays(self, encoding: PairEncoding, side: str = "left"):
+        """One side of a pair encoding as a CSR token-incidence matrix.
+
+        Returns a :class:`repro.perf.arrays.ArrayRecords`; requires the
+        array stack (numpy + scipy) and raises
+        :class:`~repro.exceptions.ConfigurationError` without it, so the
+        dict chain never pays the import.
+        """
+        from repro.perf import arrays
+
+        if side not in ("left", "right"):
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        arrays.require_arrays()
+        digest = combine("arrays", encoding.key, side)
+
+        def build():
+            records = encoding.right if side == "right" else encoding.left
+            return arrays.build_array_records(
+                digest, records, len(encoding.universe)
+            )
+
+        return self._get("arrays", digest, build)
+
+    def array_index(
+        self,
+        encoding: PairEncoding,
+        measure: str,
+        threshold: float,
+        use_prefix_filter: bool = True,
+        side: str = "right",
+    ):
+        """Probe-ready transposed CSR corpus for the batched array kernel.
+
+        The columnar twin of :meth:`prefix_index` (same parameters, same
+        candidate semantics); returns a
+        :class:`repro.perf.arrays.ArrayIndex`.
+        """
+        from repro.perf import arrays
+
+        arrays.require_arrays()
+        digest = combine(
+            "arrayindex", encoding.key, side, measure, threshold, use_prefix_filter
+        )
+
+        def build():
+            return arrays.build_array_index(
+                digest,
+                self.pair_arrays(encoding, side=side),
+                measure,
+                threshold,
+                use_prefix_filter,
+            )
+
+        return self._get("arrayindex", digest, build)
+
     def gram_bags(self, table: Table, key: str, column: str, q: int) -> dict[str, Counter]:
         """Unpadded q-gram multiset per distinct value of the column."""
         table.require_columns([key, column])
@@ -530,7 +593,12 @@ class IndexStore:
         """Banded-LSH index over one side of a :class:`VectorPair`."""
         if side not in ("left", "right"):
             raise ValueError(f"side must be 'left' or 'right', got {side!r}")
-        digest = combine("ann", pair.key, side, n_bands, band_bits, seed)
+        # "sig2" is the signature-computation version: signatures now
+        # accumulate buckets in ascending order (so scalar and batched
+        # computation agree bit-for-bit), which can flip near-zero band
+        # bits relative to v1 — salting the digest retires any persisted
+        # v1 index instead of trusting it.
+        digest = combine("ann", "sig2", pair.key, side, n_bands, band_bits, seed)
 
         def build() -> AnnIndex:
             records = pair.right if side == "right" else pair.left

@@ -11,9 +11,26 @@ mechanisms every hot path shares:
   with ppjoin-style early exit, and a bitmask popcount fast path) plus
   per-measure scorers that avoid per-pair validation;
 * :mod:`repro.perf.parallel` — one process-pool executor shared by the
-  sim joins, the blockers, feature extraction, and the production stage.
+  sim joins, the blockers, feature extraction, and the production stage;
+* :mod:`repro.perf.arrays` — the columnar (NumPy/CSR) kernel backend:
+  batched filter-verify probes, batched cosine, and the ``kernel=``
+  resolution policy, byte-identical to the dict kernels above.
 """
 
+from repro.perf.arrays import (
+    HAVE_ARRAYS,
+    ArrayIndex,
+    ArrayRecords,
+    KernelPolicy,
+    SparseColumns,
+    batch_cosine,
+    batch_set_sim_probe,
+    choose_backend,
+    kernel_override,
+    observe_kernel_batch,
+    set_kernel_override,
+    use_kernel,
+)
 from repro.perf.kernels import (
     MASK_UNIVERSE_MAX,
     bounded_overlap,
@@ -33,17 +50,29 @@ from repro.perf.parallel import (
 from repro.perf.tokens import TokenUniverse
 
 __all__ = [
+    "HAVE_ARRAYS",
     "MASK_UNIVERSE_MAX",
+    "ArrayIndex",
+    "ArrayRecords",
+    "KernelPolicy",
+    "SparseColumns",
     "TokenUniverse",
+    "batch_cosine",
+    "batch_set_sim_probe",
     "bounded_overlap",
+    "choose_backend",
     "concat_tables",
     "effective_n_jobs",
+    "kernel_override",
     "make_overlap_bound",
     "make_scorer",
     "mask_overlap",
+    "observe_kernel_batch",
     "parallel_map_partitions",
     "partition_table",
     "run_sharded",
+    "set_kernel_override",
     "split_evenly",
     "token_mask",
+    "use_kernel",
 ]

@@ -1,0 +1,581 @@
+"""Columnar CSR kernels: the batched "array" backend of the hot paths.
+
+Every per-pair loop in the substrate — :func:`probe_encoded`'s
+candidate collection and verification, the sparse-dict cosine in
+:mod:`repro.text.vectorize`, banded-LSH signatures in
+:mod:`repro.index.ann` — has a columnar twin here that processes a
+*batch* of probes as a handful of ``numpy``/``scipy`` matrix operations
+instead of millions of interpreter steps:
+
+* encoded corpora become CSR token-incidence matrices (``indptr``/
+  ``indices`` postings, int64 counts as data), registered in
+  :class:`repro.index.IndexStore` as fingerprinted artifacts beside the
+  dict/tuple chain;
+* overlap counts for a whole probe batch are one sparse matmul
+  (``probe @ corpus.T``) producing **exact ints**, so the scalar score
+  formulas reproduce bit-identical floats;
+* size-window and prefix bounds are vectorized replicas of
+  :mod:`repro.simjoin.filters` — same operations, in the same order, on
+  the same values, so every bound decision matches the scalar kernel
+  decision-for-decision;
+* cosine scoring against a vector corpus accumulates shared buckets in
+  ascending bucket order, matching the canonicalized scalar
+  :func:`repro.text.vectorize.sparse_dot`.
+
+**Byte-identity is the contract**, not an aspiration: for any corpus
+and any probe batch, the array backend emits the same survivors with
+the same float scores in the same order as the dict backend
+(property-tested in ``tests/test_kernel_arrays.py``).  Two deliberate
+consequences: vector data stays ``float64`` (a ``float32`` CSR would
+save half the memory but break identity with the scalar ``float``
+kernels), and sparse products are re-sorted (``sort_indices``) before
+ordered emission because scipy does not guarantee sorted indices on
+matmul results.
+
+The backend is optional at runtime: without ``numpy``/``scipy`` the
+module imports cleanly, ``HAVE_ARRAYS`` is ``False``, ``kernel="auto"``
+always resolves to the dict backend, and ``kernel="array"`` raises
+:class:`~repro.exceptions.ConfigurationError`.
+
+Observability: callers report batched kernel calls through
+:func:`observe_kernel_batch` (``kernel_batch_calls_total{op}``,
+``kernel_batch_rows_total{op}``, ``kernel_batch_candidates_total{op}``,
+``kernel_batch_seconds{op}``).  Forked join shards return their stats
+to the parent, which emits — a counter bumped inside a forked worker
+would die with the fork.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.obs import get_registry
+from repro.perf.kernels import BOUND_EPS, ceil_bound
+
+try:  # pragma: no cover - exercised implicitly by every array test
+    import numpy as np
+    from scipy import sparse as _sparse
+
+    HAVE_ARRAYS = True
+except ImportError:  # pragma: no cover - the container bakes both in
+    np = None
+    _sparse = None
+    HAVE_ARRAYS = False
+
+#: The concrete backends a kernel request can resolve to.
+ARRAY_BACKENDS = ("dict", "array")
+
+#: Upper bound on sparse-product entries materialized per probe chunk.
+#: Chunking the probe side bounds the worst case where many rows share
+#: hot tokens and the overlap matmul densifies.
+CHUNK_TARGET_NNZ = 1 << 22
+
+
+def require_arrays() -> None:
+    """Raise when the array backend was requested but cannot run."""
+    if not HAVE_ARRAYS:
+        raise ConfigurationError(
+            "kernel='array' requires numpy and scipy; neither is importable "
+            "in this environment (use kernel='dict' or kernel='auto')"
+        )
+
+
+# ----------------------------------------------------------------------
+# Kernel selection: policy, plan override, resolution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelPolicy:
+    """When ``kernel="auto"`` picks the array backend.
+
+    Batching has fixed costs (CSR construction or slicing, one pass of
+    chunk bookkeeping) that a single point probe against a small corpus
+    never amortizes; the thresholds are the measured break-even
+    neighbourhood on this substrate (see ``docs/PERFORMANCE.md``).
+    """
+
+    min_probe_rows: int = 8
+    min_index_rows: int = 64
+
+
+DEFAULT_KERNEL_POLICY = KernelPolicy()
+
+# Process-global kernel override, set by the plan executor around nodes
+# whose observed stats favour one backend.  Both backends are
+# byte-identical, so the override is a pure performance hint: reading a
+# racy value can never change a result, only its speed.
+_KERNEL_OVERRIDE: str | None = None
+
+
+def kernel_override() -> str | None:
+    """The active process-global backend override (``None`` when unset)."""
+    return _KERNEL_OVERRIDE
+
+
+def set_kernel_override(backend: str | None) -> str | None:
+    """Force ``kernel="auto"`` call sites onto one backend; returns previous.
+
+    ``None`` restores policy-based resolution.  This is the hook
+    :mod:`repro.plan` uses to apply per-node kernel decisions without
+    threading a parameter through every operator closure.
+    """
+    global _KERNEL_OVERRIDE
+    if backend is not None and backend not in ARRAY_BACKENDS:
+        raise ConfigurationError(
+            f"kernel override must be one of {ARRAY_BACKENDS} or None, got {backend!r}"
+        )
+    previous = _KERNEL_OVERRIDE
+    _KERNEL_OVERRIDE = backend
+    return previous
+
+
+@contextmanager
+def use_kernel(backend: str | None) -> Iterator[None]:
+    """Scope a kernel override (see :func:`set_kernel_override`)."""
+    previous = set_kernel_override(backend)
+    try:
+        yield
+    finally:
+        set_kernel_override(previous)
+
+
+def choose_backend(
+    kernel: str,
+    n_probe_rows: int,
+    n_index_rows: int,
+    policy: KernelPolicy = DEFAULT_KERNEL_POLICY,
+) -> str:
+    """Resolve a public ``kernel=`` knob to ``"dict"`` or ``"array"``.
+
+    ``"mask"``/``"merge"`` (the legacy dict-kernel variants) and
+    ``"dict"`` pin the dict backend; ``"array"`` requires the array
+    stack; ``"auto"`` follows the plan override when set, otherwise the
+    policy thresholds.
+    """
+    if kernel in ("dict", "mask", "merge"):
+        return "dict"
+    if kernel == "array":
+        require_arrays()
+        return "array"
+    override = _KERNEL_OVERRIDE
+    if override == "dict":
+        return "dict"
+    if override == "array" and HAVE_ARRAYS:
+        return "array"
+    if (
+        HAVE_ARRAYS
+        and n_probe_rows >= policy.min_probe_rows
+        and n_index_rows >= policy.min_index_rows
+    ):
+        return "array"
+    return "dict"
+
+
+def observe_kernel_batch(op: str, rows: int, candidates: int, seconds: float) -> None:
+    """Account one batched kernel call on the process registry."""
+    registry = get_registry()
+    registry.counter("kernel_batch_calls_total", op=op).inc()
+    registry.counter("kernel_batch_rows_total", op=op).inc(rows)
+    registry.counter("kernel_batch_candidates_total", op=op).inc(candidates)
+    registry.histogram("kernel_batch_seconds", op=op).observe(seconds)
+
+
+# ----------------------------------------------------------------------
+# Vectorized bound replicas of repro.simjoin.filters
+#
+# Each function performs the *same floating-point operations in the same
+# order* as its scalar twin (coefficients precomputed in Python floats,
+# int sums before float conversion, np.sqrt == math.sqrt, np.ceil ==
+# math.ceil), so the int bounds are equal element-for-element.
+# ----------------------------------------------------------------------
+def _ceil_bound(values):
+    """Vector twin of :func:`repro.perf.kernels.ceil_bound`."""
+    return np.ceil(values - BOUND_EPS).astype(np.int64)
+
+
+def size_bounds_arrays(measure: str, threshold: float, sizes):
+    """Per-row (lower, widened upper) partner-size window.
+
+    Mirrors :func:`repro.simjoin.filters.size_bounds` with the caller's
+    ``upper += BOUND_EPS`` widening already applied, matching the
+    comparison the dict probe performs.
+    """
+    sizes_f = sizes.astype(np.float64)
+    if measure == "jaccard":
+        lower = _ceil_bound(threshold * sizes_f)
+        upper = sizes_f / threshold
+    elif measure == "cosine":
+        squared = threshold * threshold
+        lower = _ceil_bound(squared * sizes_f)
+        upper = sizes_f / squared
+    elif measure == "dice":
+        lower = _ceil_bound(threshold / (2.0 - threshold) * sizes_f)
+        upper = (2.0 - threshold) / threshold * sizes_f
+    else:  # overlap
+        lower = np.full(len(sizes), ceil_bound(threshold), dtype=np.int64)
+        upper = np.full(len(sizes), math.inf, dtype=np.float64)
+    return lower, upper + BOUND_EPS
+
+
+def overlap_bounds_arrays(measure: str, threshold: float, left_sizes, right_sizes):
+    """Vector twin of :func:`repro.simjoin.filters.overlap_lower_bound`."""
+    if measure == "jaccard":
+        coefficient = threshold / (1.0 + threshold)
+        return _ceil_bound(coefficient * (left_sizes + right_sizes).astype(np.float64))
+    if measure == "cosine":
+        return _ceil_bound(
+            threshold * np.sqrt((left_sizes * right_sizes).astype(np.float64))
+        )
+    if measure == "dice":
+        coefficient = threshold / 2.0
+        return _ceil_bound(coefficient * (left_sizes + right_sizes).astype(np.float64))
+    return np.full(len(left_sizes), ceil_bound(threshold), dtype=np.int64)
+
+
+def prefix_lengths_arrays(measure: str, threshold: float, sizes):
+    """Vector twin of :func:`repro.simjoin.filters.prefix_length`."""
+    if measure == "overlap":
+        lengths = np.maximum(sizes - ceil_bound(threshold) + 1, 0)
+    else:
+        lower, _ = size_bounds_arrays(measure, threshold, sizes)
+        lower = np.maximum(lower, 1)
+        bound = overlap_bounds_arrays(measure, threshold, sizes, lower)
+        lengths = np.maximum(sizes - bound + 1, 0)
+    return np.where(sizes == 0, 0, lengths)
+
+
+def scores_arrays(measure: str, overlap, left_sizes, right_sizes):
+    """Vector twin of :func:`repro.perf.kernels.make_scorer`.
+
+    All inputs are exact int64; int64 true division, ``np.sqrt``, and
+    float64 elementwise products are IEEE-correctly-rounded, so each
+    element equals the scalar formula's float bit-for-bit.
+    """
+    if measure == "jaccard":
+        return overlap / (left_sizes + right_sizes - overlap)
+    if measure == "cosine":
+        return overlap / np.sqrt((left_sizes * right_sizes).astype(np.float64))
+    if measure == "dice":
+        return (2.0 * overlap) / (left_sizes + right_sizes)
+    return overlap.astype(np.float64)
+
+
+# ----------------------------------------------------------------------
+# CSR corpus structures
+# ----------------------------------------------------------------------
+class ArrayRecords:
+    """One side's encoded records as a CSR token-incidence matrix.
+
+    Row *i* holds record *i*'s sorted token ids as CSR indices with
+    int64 ones as data; ``sizes[i]`` is the record's distinct-token
+    count.  A picklable :class:`~repro.index.IndexStore` artifact.
+    """
+
+    __slots__ = ("key", "keys", "sizes", "matrix", "dim")
+
+    def __init__(self, key: str, keys: list, sizes, matrix, dim: int):
+        self.key = key
+        self.keys = keys
+        self.sizes = sizes
+        self.matrix = matrix
+        self.dim = dim
+
+
+class ArrayIndex:
+    """The corpus (right) side prepared for batched probing.
+
+    Pre-transposed full and prefix incidence matrices (``dim x n_rows``)
+    so a probe batch hits scipy's ``csr @ csr`` fast path, plus the
+    per-record sizes the size filter windows over.  Keyed like the dict
+    :class:`~repro.index.store.PrefixIndex` by (encoding, measure,
+    threshold, use_prefix_filter).
+    """
+
+    __slots__ = ("key", "keys", "sizes", "full_t", "prefix_t", "n_rows", "dim")
+
+    def __init__(self, key: str, keys: list, sizes, full_t, prefix_t, dim: int):
+        self.key = key
+        self.keys = keys
+        self.sizes = sizes
+        self.full_t = full_t
+        self.prefix_t = prefix_t
+        self.n_rows = len(keys)
+        self.dim = dim
+
+
+def build_array_records(
+    key: str, records: Sequence[tuple[Any, tuple[int, ...]]], dim: int
+) -> ArrayRecords:
+    """Materialize ``[(row_key, sorted ids)]`` as an :class:`ArrayRecords`."""
+    require_arrays()
+    n_rows = len(records)
+    width = max(dim, 1)
+    keys = [row_key for row_key, _ in records]
+    sizes = np.fromiter(
+        (len(ids) for _, ids in records), dtype=np.int64, count=n_rows
+    )
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.fromiter(
+        (token for _, ids in records for token in ids), dtype=np.int64, count=total
+    )
+    matrix = _sparse.csr_matrix(
+        (np.ones(total, dtype=np.int64), indices, indptr), shape=(n_rows, width)
+    )
+    return ArrayRecords(key, keys, sizes, matrix, width)
+
+
+def csr_prefix_slice(matrix, lengths):
+    """Per-row head slice of a CSR matrix (row *i* keeps ``lengths[i]``).
+
+    Token ids are stored sorted, so the head of a row *is* its prefix
+    under the global frequency ordering — the same slice the dict
+    backend takes of the encoded tuple.
+    """
+    indptr = matrix.indptr.astype(np.int64)
+    counts = np.minimum(np.asarray(lengths, dtype=np.int64), np.diff(indptr))
+    new_indptr = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=new_indptr[1:])
+    total = int(new_indptr[-1])
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(new_indptr[:-1], counts)
+    take = np.repeat(indptr[:-1], counts) + offsets
+    return _sparse.csr_matrix(
+        (np.ones(total, dtype=matrix.data.dtype), matrix.indices[take], new_indptr),
+        shape=matrix.shape,
+    )
+
+
+def build_array_index(
+    key: str,
+    arrays: ArrayRecords,
+    measure: str,
+    threshold: float,
+    use_prefix_filter: bool = True,
+) -> ArrayIndex:
+    """Prepare one side's :class:`ArrayRecords` as the probed corpus."""
+    require_arrays()
+    full_t = arrays.matrix.T.tocsr()
+    full_t.sort_indices()
+    if use_prefix_filter:
+        lengths = prefix_lengths_arrays(measure, threshold, arrays.sizes)
+        prefix_t = csr_prefix_slice(arrays.matrix, lengths).T.tocsr()
+        prefix_t.sort_indices()
+    else:
+        prefix_t = full_t
+    return ArrayIndex(key, arrays.keys, arrays.sizes, full_t, prefix_t, arrays.dim)
+
+
+def build_probe_matrix(rows: Sequence[Sequence[int]], dim: int):
+    """A CSR probe matrix from encoded query rows (serving batches).
+
+    Token ids at or past ``dim`` — a live index's extension ids, which
+    cannot occur in the base corpus — are dropped; they are sorted to
+    the tail of each row, so the surviving head is exactly the ids the
+    dict probe could match, and prefix slicing over it matches the dict
+    prefix minus its no-op tail.
+    """
+    require_arrays()
+    width = max(dim, 1)
+    kept = [ids[: bisect_left(ids, width)] for ids in rows]
+    counts = np.fromiter((len(ids) for ids in kept), dtype=np.int64, count=len(kept))
+    indptr = np.zeros(len(kept) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.fromiter(
+        (token for ids in kept for token in ids), dtype=np.int64, count=total
+    )
+    return _sparse.csr_matrix(
+        (np.ones(total, dtype=np.int64), indices, indptr), shape=(len(kept), width)
+    )
+
+
+def skip_mask(skip, n_rows: int):
+    """A boolean tombstone mask over corpus positions (``None`` passthrough)."""
+    if not skip:
+        return None
+    mask = np.zeros(n_rows, dtype=bool)
+    mask[list(skip)] = True
+    return mask
+
+
+# ----------------------------------------------------------------------
+# The batched filter-verify probe
+# ----------------------------------------------------------------------
+def batch_set_sim_probe(
+    probe_matrix,
+    true_sizes,
+    index: ArrayIndex,
+    measure: str,
+    threshold: float,
+    use_prefix_filter: bool = True,
+    skip=None,
+):
+    """Filter-verify a probe batch against an :class:`ArrayIndex`.
+
+    The columnar twin of :func:`repro.simjoin.joins.probe_encoded`, row
+    for row: per probe row the candidate set (size window over rows
+    sharing a prefix token, minus tombstones), candidate count, survivor
+    set, scores, and right-position emission order all equal the scalar
+    kernel's exactly.
+
+    ``true_sizes`` are the probes' true distinct-token counts (which can
+    exceed row nnz when queries carry out-of-universe tokens).  ``skip``
+    is an optional boolean mask over corpus positions (tombstones).
+
+    Returns ``(result_indptr, positions, scores, candidate_counts)``:
+    flat survivor arrays sorted by (probe row, corpus position), sliced
+    per probe row by ``result_indptr``, plus the per-row post-window
+    post-skip candidate counts.
+    """
+    n_probe = probe_matrix.shape[0]
+    n_rows = index.n_rows
+    lower, upper = size_bounds_arrays(measure, threshold, true_sizes)
+    if use_prefix_filter:
+        lengths = prefix_lengths_arrays(measure, threshold, true_sizes)
+        prefix_matrix = csr_prefix_slice(probe_matrix, lengths)
+    else:
+        prefix_matrix = probe_matrix
+    # Prefix == full on both sides means the candidate product already
+    # holds exact overlaps; skip the second matmul.
+    counts_from_candidates = (
+        prefix_matrix is probe_matrix and index.prefix_t is index.full_t
+    )
+
+    out_rows: list = []
+    out_cols: list = []
+    out_scores: list = []
+    candidate_counts = np.zeros(n_probe, dtype=np.int64)
+
+    # Chunk the probe side so a hot shared token cannot densify the
+    # sparse products beyond a bounded working set.
+    chunk = max(16, min(4096, CHUNK_TARGET_NNZ // max(n_rows, 1)))
+    for start in range(0, n_probe, chunk):
+        stop = min(start + chunk, n_probe)
+        span = stop - start
+        cand = prefix_matrix[start:stop] @ index.prefix_t
+        cand.sort_indices()
+        rows = np.repeat(
+            np.arange(span, dtype=np.int64), np.diff(cand.indptr)
+        )
+        cols = cand.indices.astype(np.int64)
+        right_sizes = index.sizes[cols]
+        keep = (right_sizes >= lower[start:stop][rows]) & (
+            right_sizes <= upper[start:stop][rows]
+        )
+        if skip is not None:
+            keep &= ~skip[cols]
+        if counts_from_candidates:
+            overlap_all = cand.data.astype(np.int64)
+        rows = rows[keep]
+        cols = cols[keep]
+        if len(rows) == 0:
+            continue
+        candidate_counts[start:stop] = np.bincount(rows, minlength=span)
+        if counts_from_candidates:
+            overlap = overlap_all[keep]
+        else:
+            counts = probe_matrix[start:stop] @ index.full_t
+            counts.sort_indices()
+            count_rows = np.repeat(
+                np.arange(span, dtype=np.int64), np.diff(counts.indptr)
+            )
+            count_keys = count_rows * n_rows + counts.indices.astype(np.int64)
+            # Every candidate shares a prefix token, hence at least one
+            # full token: its (row, col) is guaranteed present.
+            at = np.searchsorted(count_keys, rows * n_rows + cols)
+            overlap = counts.data[at].astype(np.int64)
+        left_sizes = true_sizes[start:stop][rows]
+        scores = scores_arrays(measure, overlap, left_sizes, index.sizes[cols])
+        survived = scores >= threshold
+        out_rows.append(rows[survived] + start)
+        out_cols.append(cols[survived])
+        out_scores.append(scores[survived])
+
+    if out_rows:
+        rows = np.concatenate(out_rows)
+        positions = np.concatenate(out_cols)
+        scores = np.concatenate(out_scores)
+    else:
+        rows = np.zeros(0, dtype=np.int64)
+        positions = np.zeros(0, dtype=np.int64)
+        scores = np.zeros(0, dtype=np.float64)
+    result_indptr = np.zeros(n_probe + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n_probe), out=result_indptr[1:])
+    return result_indptr, positions, scores, candidate_counts
+
+
+def emit_matches(
+    result_indptr, positions, scores, keys: Sequence[Any]
+) -> list[list[tuple[Any, float]]]:
+    """Per-probe-row ``[(corpus key, score)]`` lists from flat survivor arrays.
+
+    ``.tolist()`` converts ``float64`` to the identical Python float, so
+    emitted scores match the scalar kernel's bit-for-bit.
+    """
+    position_list = positions.tolist()
+    score_list = scores.tolist()
+    boundaries = result_indptr.tolist()
+    return [
+        [
+            (keys[position_list[i]], score_list[i])
+            for i in range(boundaries[row], boundaries[row + 1])
+        ]
+        for row in range(len(boundaries) - 1)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Batched cosine over sparse-dict vector corpora
+# ----------------------------------------------------------------------
+class SparseColumns:
+    """A vector corpus flipped to bucket-major (CSC-style) numpy columns.
+
+    ``columns[bucket] = (positions, weights)``; scoring one query
+    against many corpus rows walks the query's buckets in ascending
+    order and accumulates each column with one vectorized add —
+    bit-identical to the canonical scalar :func:`sparse_dot` per pair
+    (shared buckets accumulate in the same ascending order; absent
+    buckets add exact zeros, which cannot perturb a sum of nonnegative
+    products).
+    """
+
+    __slots__ = ("n_rows", "columns")
+
+    def __init__(self, vectors: Sequence[dict]):
+        require_arrays()
+        self.n_rows = len(vectors)
+        staged: dict[int, tuple[list, list]] = {}
+        for position, vector in enumerate(vectors):
+            for bucket, weight in vector.items():
+                entry = staged.get(bucket)
+                if entry is None:
+                    entry = staged[bucket] = ([], [])
+                entry[0].append(position)
+                entry[1].append(weight)
+        self.columns = {
+            bucket: (
+                np.asarray(positions, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
+            for bucket, (positions, weights) in staged.items()
+        }
+
+
+def batch_cosine(query: dict, corpus: SparseColumns):
+    """Cosine of one query vector against every corpus row (dense out).
+
+    Rows sharing no bucket with the query score exactly ``0.0``.
+    """
+    scores = np.zeros(corpus.n_rows, dtype=np.float64)
+    columns = corpus.columns
+    for bucket in sorted(query):
+        entry = columns.get(bucket)
+        if entry is not None:
+            positions, weights = entry
+            scores[positions] += query[bucket] * weights
+    return scores

@@ -377,9 +377,30 @@ class MatchServer:
         )
         registry.counter("serve_batches_total").inc()
         with trace_span("serve_batch", size=len(batch)):
-            for request in batch:
+            # One batched kernel call for the whole micro-batch: this is
+            # the payoff of the batching queue — the base segment is
+            # probed once, columnar, for every request in the batch.
+            # Per-request error isolation is preserved by falling back
+            # to the scalar per-request path if the batched call fails.
+            searched = None
+            if len(batch) > 1:
                 try:
-                    candidates, n_candidates = self._match_one(request.value, request.top_k)
+                    searched = self._live.search_batch(
+                        [request.value for request in batch]
+                    )
+                except Exception:
+                    searched = None
+            for position, request in enumerate(batch):
+                try:
+                    if searched is not None:
+                        matches, n_candidates = searched[position]
+                        candidates, n_candidates = self._rank(
+                            matches, n_candidates, request.top_k
+                        )
+                    else:
+                        candidates, n_candidates = self._match_one(
+                            request.value, request.top_k
+                        )
                     request.result = MatchResult(
                         query=request.value,
                         tenant=request.tenant,
@@ -404,6 +425,14 @@ class MatchServer:
     ) -> tuple[list[tuple[Any, float]], int]:
         """One point query through the shared filter-verify kernel."""
         matches, n_candidates = self._live.search(value)
+        return self._rank(matches, n_candidates, top_k)
+
+    def _rank(
+        self,
+        matches: list[tuple[Any, float]],
+        n_candidates: int,
+        top_k: int | None,
+    ) -> tuple[list[tuple[Any, float]], int]:
         get_registry().counter("serve_candidates_total").inc(n_candidates)
         # The live index emits survivors in canonical record order; a
         # stable sort on descending score keeps that order among ties,
@@ -430,6 +459,22 @@ class MatchServer:
         registry.counter("serve_upserts_total", tenant=tenant).inc()
         return self._live.upsert(row_key, value)
 
+    def upsert_many(self, items, tenant: str = "default") -> int:
+        """Bulk :meth:`upsert` through the live index's batched path.
+
+        ``items`` is an iterable of ``(row_key, value)``; the index
+        state afterwards is identical to upserting them one at a time
+        (sequential semantics), but delta postings merge once per batch.
+        Returns the number of records indexed.
+        """
+        registry = get_registry()
+        with self._lock:
+            if not self._running or self._stopping:
+                raise ServiceError("MatchServer is not running")
+        items = list(items)
+        registry.counter("serve_upserts_total", tenant=tenant).inc(len(items))
+        return self._live.upsert_many(items)
+
     def delete(self, row_key: Any, tenant: str = "default") -> bool:
         """Tombstone one corpus record; returns whether it was present."""
         registry = get_registry()
@@ -438,6 +483,16 @@ class MatchServer:
                 raise ServiceError("MatchServer is not running")
         registry.counter("serve_deletes_total", tenant=tenant).inc()
         return self._live.delete(row_key)
+
+    def delete_many(self, row_keys, tenant: str = "default") -> int:
+        """Bulk :meth:`delete` under one index lock; returns how many existed."""
+        registry = get_registry()
+        with self._lock:
+            if not self._running or self._stopping:
+                raise ServiceError("MatchServer is not running")
+        row_keys = list(row_keys)
+        registry.counter("serve_deletes_total", tenant=tenant).inc(len(row_keys))
+        return self._live.delete_many(row_keys)
 
     def compact(self) -> dict[str, Any]:
         """Fold the live index's delta into a new base segment.

@@ -9,13 +9,16 @@ from repro.simjoin.filters import (
     size_bounds,
 )
 from repro.simjoin.joins import (
+    KERNELS,
     edit_distance_join,
     naive_set_sim_join,
     probe_encoded,
+    probe_encoded_batch,
     set_sim_join,
 )
 
 __all__ = [
+    "KERNELS",
     "SET_MEASURES",
     "TokenOrder",
     "edit_distance_join",
@@ -23,6 +26,7 @@ __all__ = [
     "overlap_lower_bound",
     "prefix_length",
     "probe_encoded",
+    "probe_encoded_batch",
     "set_sim_join",
     "similarity",
     "size_bounds",

@@ -54,7 +54,13 @@ from repro.text.sim.edit_based import Levenshtein
 from repro.text.tokenizers import Tokenizer
 
 _OUTPUT_COLUMNS = ("_id", "l_id", "r_id", "score")
-KERNELS = ("auto", "mask", "merge")
+#: Public ``kernel=`` knob values.  ``"dict"`` pins the scalar backend
+#: (heuristic mask/merge verification); ``"mask"``/``"merge"`` pin the
+#: scalar backend *and* its verification kernel; ``"array"`` pins the
+#: columnar CSR backend of :mod:`repro.perf.arrays`; ``"auto"`` lets the
+#: kernel policy (and any :mod:`repro.plan` override) decide.  All
+#: choices produce byte-identical results.
+KERNELS = ("auto", "dict", "array", "mask", "merge")
 
 
 def _string_records(table: Table, key: str, column: str) -> list[tuple]:
@@ -181,6 +187,50 @@ def probe_encoded(
     return results, len(candidates)
 
 
+def probe_encoded_batch(
+    queries: list[tuple],
+    array_index,
+    measure: str,
+    threshold: float,
+    use_prefix_filter: bool = True,
+    skip: set[int] | None = None,
+) -> list[tuple[list[tuple], int]]:
+    """Filter-verify a *batch* of encoded probes with the array backend.
+
+    The batched twin of :func:`probe_encoded`: ``queries`` holds
+    ``(left_ids, left_size)`` per probe (same contract as the scalar
+    kernel, including true sizes exceeding ``len(left_ids)`` for
+    out-of-universe query tokens, which the CSR probe drops losslessly),
+    ``array_index`` is a :class:`repro.perf.arrays.ArrayIndex` over the
+    corpus, and ``skip`` excludes right positions (tombstones).  Returns
+    one ``(matches, n_candidates)`` pair per query, each byte-identical
+    to :func:`probe_encoded` on that query — this is the kernel
+    :class:`repro.serve.MatchServer`'s micro-batching queue and
+    :meth:`repro.index.delta.LiveIndex.search_batch` amortize their
+    batches through.
+    """
+    from repro.perf import arrays
+
+    arrays.require_arrays()
+    probe_matrix = arrays.build_probe_matrix(
+        [ids for ids, _ in queries], array_index.dim
+    )
+    true_sizes = arrays.np.fromiter(
+        (size for _, size in queries), dtype=arrays.np.int64, count=len(queries)
+    )
+    indptr, positions, scores, counts = arrays.batch_set_sim_probe(
+        probe_matrix,
+        true_sizes,
+        array_index,
+        measure,
+        threshold,
+        use_prefix_filter,
+        arrays.skip_mask(skip, array_index.n_rows),
+    )
+    matches = arrays.emit_matches(indptr, positions, scores, array_index.keys)
+    return list(zip(matches, counts.tolist()))
+
+
 def _result_table(rows: list[tuple]) -> Table:
     table = Table.from_rows(
         (
@@ -192,6 +242,65 @@ def _result_table(rows: list[tuple]) -> Table:
     if table.num_rows == 0:
         table = Table({name: [] for name in _OUTPUT_COLUMNS})
     return table
+
+
+def _set_sim_join_arrays(
+    store,
+    encoding,
+    measure: str,
+    threshold: float,
+    use_prefix_filter: bool,
+    n_jobs: int,
+) -> tuple[list[tuple], int, float]:
+    """The columnar probe phase of :func:`set_sim_join`.
+
+    Shards the probe side into contiguous row spans (CSR row slicing is
+    a view-cheap operation) and runs one batched kernel call per shard;
+    spans are contiguous and ascending, so serial and forked output
+    orders are identical — and identical to the dict backend's.  Returns
+    ``(rows, candidate count, kernel seconds)``; metrics are emitted by
+    the caller in the parent process.
+    """
+    from repro.perf import arrays
+
+    array_index = store.array_index(encoding, measure, threshold, use_prefix_filter)
+    left_arrays = store.pair_arrays(encoding, side="left")
+    left_keys = left_arrays.keys
+    right_keys = array_index.keys
+    n_probe = len(left_keys)
+    n_shards = max(1, min(effective_n_jobs(n_jobs), n_probe))
+    cuts = [n_probe * i // n_shards for i in range(n_shards + 1)]
+    # Spans are ranges, not index lists: sized (so run_sharded's
+    # small-work gate sees the true row count) but cheap to pickle.
+    spans = [range(start, stop) for start, stop in zip(cuts[:-1], cuts[1:])]
+
+    def join_shard(span: range) -> tuple[list[tuple], int, float]:
+        start, stop = span.start, span.stop
+        shard_started = time.perf_counter()
+        indptr, positions, scores, counts = arrays.batch_set_sim_probe(
+            left_arrays.matrix[start:stop],
+            left_arrays.sizes[start:stop],
+            array_index,
+            measure,
+            threshold,
+            use_prefix_filter,
+        )
+        seconds = time.perf_counter() - shard_started
+        position_list = positions.tolist()
+        score_list = scores.tolist()
+        boundaries = indptr.tolist()
+        results = [
+            (left_keys[start + row], right_keys[position_list[i]], score_list[i])
+            for row in range(len(boundaries) - 1)
+            for i in range(boundaries[row], boundaries[row + 1])
+        ]
+        return results, int(counts.sum()), seconds
+
+    shard_outputs = run_sharded(spans, join_shard, n_jobs)
+    rows = [row for results, _, _ in shard_outputs for row in results]
+    n_candidates = sum(count for _, count, _ in shard_outputs)
+    kernel_seconds = sum(seconds for _, _, seconds in shard_outputs)
+    return rows, n_candidates, kernel_seconds
 
 
 def set_sim_join(
@@ -217,9 +326,12 @@ def set_sim_join(
     join columns are tokenized with ``tokenizer``, and ``measure`` is one of
     ``jaccard``, ``cosine``, ``dice``, or ``overlap`` (absolute threshold).
     ``n_jobs`` fans the probe side out over a process pool (output is
-    byte-identical to serial).  ``kernel`` selects the verification
-    strategy: ``"mask"`` (bitmask popcount), ``"merge"`` (merge scan with
-    early exit), or ``"auto"`` (mask while the token universe is small).
+    byte-identical to serial).  ``kernel`` selects the probe backend and
+    verification strategy: ``"dict"`` (scalar backend, heuristic
+    verification), ``"mask"`` (scalar, bitmask popcount), ``"merge"``
+    (scalar, merge scan with early exit), ``"array"`` (batched columnar
+    CSR kernels), or ``"auto"`` (policy choice between dict and array;
+    every backend emits byte-identical results).
     """
     measure = validate_measure(measure)
     if measure != "overlap" and not 0.0 < threshold <= 1.0:
@@ -244,13 +356,34 @@ def set_sim_join(
         store.tokenized_column(rtable, r_key, r_column, tokenizer),
     )
     left_enc, right_enc = encoding.left, encoding.right
+
+    from repro.perf.arrays import choose_backend, observe_kernel_batch
+
+    if choose_backend(kernel, len(left_enc), len(right_enc)) == "array":
+        rows, n_candidates, kernel_seconds = _set_sim_join_arrays(
+            store, encoding, measure, threshold, use_prefix_filter, n_jobs
+        )
+        observe_kernel_batch(
+            "set_sim_join", len(left_enc), n_candidates, kernel_seconds
+        )
+        _observe_join(
+            "set_sim",
+            measure,
+            time.perf_counter() - join_started,
+            probes=len(left_enc),
+            candidates=n_candidates,
+            survivors=len(rows),
+        )
+        return _result_table(rows)
+
     # Token id -> postings sorted by set size, held as parallel
     # (sizes, positions) lists so the probe's size filter is a bisect
     # window and candidate collection is a bulk set.update.
     index = store.prefix_index(encoding, measure, threshold, use_prefix_filter).index
 
     use_masks = kernel == "mask" or (
-        kernel == "auto" and len(encoding.universe) <= MASK_UNIVERSE_MAX
+        kernel in ("auto", "dict")
+        and len(encoding.universe) <= MASK_UNIVERSE_MAX
     )
     right_masks = store.right_masks(encoding) if use_masks else None
     scorer = make_scorer(measure)

@@ -48,10 +48,18 @@ def l2_normalize(vector: SparseVector) -> SparseVector:
 
 
 def sparse_dot(a: SparseVector, b: SparseVector) -> float:
-    """Dot product of two sparse vectors (iterates the smaller one)."""
+    """Dot product of two sparse vectors (iterates the smaller one).
+
+    Shared buckets accumulate in ascending bucket order.  Float addition
+    is not associative, so the iteration order *is* part of the result's
+    identity — pinning it keeps this scalar kernel bit-identical to the
+    batched columnar cosine in :mod:`repro.perf.arrays` (which also
+    accumulates buckets ascending) and independent of dict insertion
+    history.
+    """
     if len(a) > len(b):
         a, b = b, a
-    return sum(weight * b[bucket] for bucket, weight in a.items() if bucket in b)
+    return sum(a[bucket] * b[bucket] for bucket in sorted(a) if bucket in b)
 
 
 def cosine(a: SparseVector, b: SparseVector) -> float:

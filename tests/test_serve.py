@@ -279,8 +279,14 @@ class TestWarmStart:
         corpus = make_corpus(100)
         tokenizer = WhitespaceTokenizer(return_set=True)
         with use_registry() as registry, use_index_store():
+            # kernel="dict" pins the scalar artifact chain — the one the
+            # server's warmup (and its scalar probe path) consumes; an
+            # "auto" join may build the columnar arrays/arrayindex
+            # artifacts instead, which the warmup legitimately doesn't
+            # need until its first batched probe.
             set_sim_join(
-                corpus, corpus, "id", "id", "v", "v", tokenizer, "jaccard", 0.4
+                corpus, corpus, "id", "id", "v", "v", tokenizer, "jaccard", 0.4,
+                kernel="dict",
             )
             builds_before = sum(
                 value
